@@ -1,0 +1,189 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * two-pole vs. higher-order (AWE) reduced models vs. the exact
+//!   inverse-Laplace oracle — accuracy audited, cost measured;
+//! * analytic-residual Newton vs. fully finite-difference objective
+//!   minimization;
+//! * RLC-ladder section count (simulator fidelity knob);
+//! * transient integration method (trapezoidal vs. backward Euler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rlckit::optimizer::{optimize_rlc, optimize_rlc_direct, segment_structure, OptimizerOptions};
+use rlckit_spice::builders::{rlc_ladder, LadderLine};
+use rlckit_spice::transient::{simulate, AdaptiveOptions, Method, TransientOptions};
+use rlckit_spice::waveform::Waveform;
+use rlckit_spice::Circuit;
+use rlckit_tech::TechNode;
+use rlckit_tline::awe::ReducedModel;
+use rlckit_tline::exact::exact_delay;
+use rlckit_tline::LineRlc;
+use rlckit_units::{HenriesPerMeter, Meters};
+
+fn dil_100(l_nh: f64) -> rlckit_tline::DriverInterconnectLoad {
+    let node = TechNode::nm100();
+    let line = LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(l_nh),
+        node.line().capacitance,
+    );
+    segment_structure(&line, &node.driver(), Meters::from_milli(11.1), 528.0)
+}
+
+fn bench_model_order(c: &mut Criterion) {
+    let dil = dil_100(1.5);
+    // Accuracy audit against the exact oracle.
+    let exact = exact_delay(&dil, 0.5).expect("oracle").get();
+    let two_pole = dil.two_pole().delay(0.5).expect("two-pole").get();
+    let err2 = (two_pole - exact).abs() / exact;
+    assert!(err2 < 0.15, "two-pole error {err2}");
+
+    let mut group = c.benchmark_group("ablation/model");
+    group.bench_function("two_pole_delay", |b| {
+        b.iter(|| black_box(dil.two_pole().delay(0.5).expect("delay")));
+    });
+    group.bench_function("awe_order2_delay", |b| {
+        b.iter(|| {
+            let model = ReducedModel::from_structure(&dil, 2).expect("stable at order 2");
+            black_box(model.delay(0.5).expect("delay"))
+        });
+    });
+    group.sample_size(20);
+    group.bench_function("exact_ilt_delay", |b| {
+        b.iter(|| black_box(exact_delay(&dil, 0.5).expect("oracle")));
+    });
+    group.finish();
+}
+
+fn bench_newton_vs_derivative_free(c: &mut Criterion) {
+    let node = TechNode::nm250();
+    let line = LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(1.5),
+        node.line().capacitance,
+    );
+    let mut group = c.benchmark_group("ablation/optimizer");
+    group.bench_function("analytic_newton", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"),
+            )
+        });
+    });
+    group.bench_function("derivative_free", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default())
+                    .expect("opt"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn ladder_step_response(segments: usize, method: Method) -> f64 {
+    let mut ckt = Circuit::new();
+    let src = ckt.add_node("src");
+    let drv = ckt.add_node("drv");
+    let far = ckt.add_node("far");
+    ckt.voltage_source(src, Circuit::GROUND, Waveform::step(0.0, 1.2, 10e-12, 1e-12));
+    ckt.resistor(src, drv, 14.3);
+    rlc_ladder(
+        &mut ckt,
+        drv,
+        far,
+        LadderLine {
+            r_per_m: 4400.0,
+            l_per_m: 1.8e-6,
+            c_per_m: 123.33e-12,
+        },
+        Meters::from_milli(11.1),
+        segments,
+    );
+    ckt.capacitor(far, Circuit::GROUND, 400e-15);
+    let res = simulate(
+        &ckt,
+        &TransientOptions::new(1e-9, 1e-12).with_method(method),
+    )
+    .expect("transient");
+    *res.voltage(far).last().expect("samples")
+}
+
+fn bench_ladder_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ladder_segments");
+    group.sample_size(15);
+    for segments in [4usize, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| {
+                b.iter(|| black_box(ladder_step_response(segments, Method::Trapezoidal)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_integration_method(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/integration");
+    group.sample_size(15);
+    group.bench_function("trapezoidal", |b| {
+        b.iter(|| black_box(ladder_step_response(8, Method::Trapezoidal)));
+    });
+    group.bench_function("backward_euler", |b| {
+        b.iter(|| black_box(ladder_step_response(8, Method::BackwardEuler)));
+    });
+    group.finish();
+}
+
+fn bench_adaptive_stepping(c: &mut Criterion) {
+    // Fixed vs LTE-controlled stepping on the same ladder transient:
+    // the controller should win wall-clock on the long quiet tail.
+    let build = || {
+        let mut ckt = Circuit::new();
+        let src = ckt.add_node("src");
+        let drv = ckt.add_node("drv");
+        let far = ckt.add_node("far");
+        ckt.voltage_source(src, Circuit::GROUND, Waveform::step(0.0, 1.2, 10e-12, 1e-12));
+        ckt.resistor(src, drv, 14.3);
+        rlc_ladder(
+            &mut ckt,
+            drv,
+            far,
+            LadderLine {
+                r_per_m: 4400.0,
+                l_per_m: 1.8e-6,
+                c_per_m: 123.33e-12,
+            },
+            Meters::from_milli(11.1),
+            8,
+        );
+        ckt.capacitor(far, Circuit::GROUND, 400e-15);
+        ckt
+    };
+    let mut group = c.benchmark_group("ablation/stepping");
+    group.sample_size(15);
+    group.bench_function("fixed", |b| {
+        let ckt = build();
+        let opts = TransientOptions::new(4e-9, 1e-12);
+        b.iter(|| black_box(simulate(&ckt, &opts).expect("transient")));
+    });
+    group.bench_function("adaptive", |b| {
+        let ckt = build();
+        let opts =
+            TransientOptions::new(4e-9, 1e-12).with_adaptive(AdaptiveOptions::around(1e-12));
+        b.iter(|| black_box(simulate(&ckt, &opts).expect("transient")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_order,
+    bench_newton_vs_derivative_free,
+    bench_ladder_fidelity,
+    bench_integration_method,
+    bench_adaptive_stepping
+);
+criterion_main!(benches);

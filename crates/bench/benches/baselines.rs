@@ -1,0 +1,84 @@
+//! Benchmarks the baseline models against the paper's rigorous solve —
+//! both speed (the fits are cheaper, as expected) and accuracy (where
+//! they break, which is the paper's argument). The accuracy assertions
+//! run once before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rlckit::baselines::{ismail_friedman_optimum, km_delay};
+use rlckit::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
+use rlckit_tech::TechNode;
+use rlckit_tline::LineRlc;
+use rlckit_units::{HenriesPerMeter, Meters};
+
+fn line_for(node: &TechNode, l_nh: f64) -> LineRlc {
+    LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(l_nh),
+        node.line().capacitance,
+    )
+}
+
+fn bench_km_vs_exact(c: &mut Criterion) {
+    let node = TechNode::nm100();
+    // Accuracy audit: near the critical inductance the KM fallback is
+    // blind to l; the exact solve is not.
+    let line_a = line_for(&node, 0.40);
+    let line_b = line_for(&node, 0.55);
+    let tp_a = rlckit::optimizer::segment_structure(&line_a, &node.driver(), Meters::from_milli(11.1), 528.0).two_pole();
+    let tp_b = rlckit::optimizer::segment_structure(&line_b, &node.driver(), Meters::from_milli(11.1), 528.0).two_pole();
+    let (km_a, _) = km_delay(&tp_a, 0.5).expect("km");
+    let (km_b, _) = km_delay(&tp_b, 0.5).expect("km");
+    let exact_a = tp_a.delay(0.5).expect("delay");
+    let exact_b = tp_b.delay(0.5).expect("delay");
+    let km_moves = (km_b.get() - km_a.get()).abs() / exact_a.get();
+    let exact_moves = (exact_b.get() - exact_a.get()).abs() / exact_a.get();
+    assert!(
+        km_moves < 0.5 * exact_moves,
+        "km sensitivity {km_moves} should be far below exact {exact_moves} near criticality"
+    );
+
+    let mut group = c.benchmark_group("baselines");
+    group.bench_function("km_delay", |b| {
+        b.iter(|| black_box(km_delay(&tp_a, 0.5).expect("km")));
+    });
+    group.bench_function("exact_two_pole_delay", |b| {
+        b.iter(|| black_box(tp_a.delay(0.5).expect("delay")));
+    });
+    group.finish();
+}
+
+fn bench_if_fit_vs_newton(c: &mut Criterion) {
+    let node = TechNode::nm100();
+    let line = line_for(&node, 2.0);
+
+    // Accuracy audit: the fit's (h, k) costs measurably more delay per
+    // unit length than the rigorous optimum.
+    let fit = ismail_friedman_optimum(&line, &node.driver());
+    let rigorous = optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt");
+    let fit_cost = segment_delay(&line, &node.driver(), fit.segment_length, fit.repeater_size, 0.5)
+        .expect("delay")
+        .get()
+        / fit.segment_length.get();
+    assert!(
+        fit_cost >= rigorous.delay_per_length() * 0.999,
+        "the fit cannot beat the optimum"
+    );
+
+    let mut group = c.benchmark_group("baselines");
+    group.bench_function("ismail_friedman_fit", |b| {
+        b.iter(|| black_box(ismail_friedman_optimum(&line, &node.driver())));
+    });
+    group.bench_function("rigorous_newton_optimum", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_km_vs_exact, bench_if_fit_vs_newton);
+criterion_main!(benches);

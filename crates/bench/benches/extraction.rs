@@ -1,0 +1,70 @@
+//! Benchmarks the parasitic-extraction substrate (the FASTCAP/FASTHENRY
+//! substitution): closed-form capacitance and inductance models are
+//! nanosecond-cheap, which is what makes exploring the paper's `l`
+//! uncertainty band interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rlckit_extract::capacitance::{total_line_capacitance, NeighborActivity};
+use rlckit_extract::geometry::{Material, WireGeometry};
+use rlckit_extract::inductance::{
+    microstrip_loop_inductance, partial_self_inductance, two_wire_loop_inductance,
+};
+use rlckit_extract::resistance::resistance_per_length;
+use rlckit_units::Meters;
+
+fn table1_wire() -> WireGeometry {
+    WireGeometry::new(
+        Meters::from_micro(2.0),
+        Meters::from_micro(2.5),
+        Meters::from_micro(2.0),
+        Meters::from_micro(13.9),
+    )
+}
+
+fn bench_extraction_models(c: &mut Criterion) {
+    let wire = table1_wire();
+    let mut group = c.benchmark_group("extraction");
+    group.bench_function("resistance", |b| {
+        b.iter(|| black_box(resistance_per_length(&wire, Material::COPPER_INTERCONNECT)));
+    });
+    group.bench_function("capacitance_total", |b| {
+        b.iter(|| {
+            black_box(total_line_capacitance(
+                &wire,
+                black_box(3.3),
+                NeighborActivity::Quiet,
+            ))
+        });
+    });
+    group.bench_function("partial_self_inductance", |b| {
+        b.iter(|| black_box(partial_self_inductance(&wire, Meters::from_milli(10.0))));
+    });
+    group.bench_function("loop_inductance_microstrip", |b| {
+        b.iter(|| black_box(microstrip_loop_inductance(&wire)));
+    });
+    group.bench_function("loop_inductance_two_wire", |b| {
+        b.iter(|| black_box(two_wire_loop_inductance(&wire, Meters::from_micro(500.0))));
+    });
+    group.finish();
+}
+
+fn bench_full_corner_scan(c: &mut Criterion) {
+    // A realistic use: scan 1000 return-path distances to build the
+    // l-uncertainty band that the optimizer then sweeps.
+    let wire = table1_wire();
+    c.bench_function("extraction/return_path_scan_1000", |b| {
+        b.iter(|| {
+            let mut worst: f64 = 0.0;
+            for i in 1..=1000 {
+                let d = Meters::from_micro(5.0 + i as f64 * 10.0);
+                worst = worst.max(two_wire_loop_inductance(&wire, d).get());
+            }
+            black_box(worst)
+        });
+    });
+}
+
+criterion_group!(benches, bench_extraction_models, bench_full_corner_scan);
+criterion_main!(benches);

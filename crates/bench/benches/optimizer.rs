@@ -1,0 +1,70 @@
+//! Benchmarks the repeater-insertion optimizer (paper §2.2) — the Newton
+//! solve of the stationarity system that the paper reports converging
+//! "in less than six iterations in all cases", against the
+//! derivative-free Nelder–Mead reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rlckit::optimizer::{optimize_rlc, optimize_rlc_direct, OptimizerOptions};
+use rlckit_tech::TechNode;
+use rlckit_tline::LineRlc;
+use rlckit_units::HenriesPerMeter;
+
+fn line_for(node: &TechNode, l_nh: f64) -> LineRlc {
+    LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(l_nh),
+        node.line().capacitance,
+    )
+}
+
+fn bench_newton_vs_direct(c: &mut Criterion) {
+    let node = TechNode::nm100();
+    let mut group = c.benchmark_group("optimizer");
+    for l in [0.0, 1.0, 3.0] {
+        let line = line_for(&node, l);
+        group.bench_function(format!("newton_l{l}"), |b| {
+            b.iter(|| {
+                black_box(
+                    optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
+                        .expect("optimum"),
+                )
+            });
+        });
+        group.bench_function(format!("nelder_mead_l{l}"), |b| {
+            b.iter(|| {
+                black_box(
+                    optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default())
+                        .expect("optimum"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_iteration_claim(c: &mut Criterion) {
+    // The paper's ≤6-iterations claim across the full sweep (we allow a
+    // small damping margin).
+    let node = TechNode::nm250();
+    for i in 0..25 {
+        let l = 4.95 * i as f64 / 24.0;
+        let opt = optimize_rlc(&line_for(&node, l), &node.driver(), OptimizerOptions::default())
+            .expect("optimum");
+        assert!(!opt.used_fallback, "fallback at l={l}");
+        assert!(opt.iterations <= 15, "l={l}: {} iterations", opt.iterations);
+    }
+    let line = line_for(&node, 2.0);
+    c.bench_function("optimizer/single_point_250nm", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
+                    .expect("optimum"),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_newton_vs_direct, bench_iteration_claim);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks the circuit-simulator substrate: transient cost of the
+//! structures behind Figs. 9–12 (RLC ladder steps, ring-oscillator
+//! revolution) and the sparse-LU kernel underneath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rlckit_numeric::sparse::TripletMatrix;
+use rlckit_spice::builders::{ring_oscillator, rlc_ladder, LadderLine};
+use rlckit_spice::transient::{simulate, TransientOptions};
+use rlckit_spice::waveform::Waveform;
+use rlckit_spice::Circuit;
+use rlckit_tech::TechNode;
+use rlckit_units::Meters;
+
+fn bench_ladder_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice/ladder_transient");
+    group.sample_size(20);
+    for segments in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| {
+                b.iter(|| {
+                    let mut ckt = Circuit::new();
+                    let src = ckt.add_node("src");
+                    let drv = ckt.add_node("drv");
+                    let far = ckt.add_node("far");
+                    ckt.voltage_source(
+                        src,
+                        Circuit::GROUND,
+                        Waveform::step(0.0, 1.2, 10e-12, 1e-12),
+                    );
+                    ckt.resistor(src, drv, 14.3);
+                    rlc_ladder(
+                        &mut ckt,
+                        drv,
+                        far,
+                        LadderLine {
+                            r_per_m: 4400.0,
+                            l_per_m: 1.8e-6,
+                            c_per_m: 123.33e-12,
+                        },
+                        Meters::from_milli(11.1),
+                        segments,
+                    );
+                    ckt.capacitor(far, Circuit::GROUND, 400e-15);
+                    black_box(
+                        simulate(&ckt, &TransientOptions::new(1e-9, 1e-12)).expect("transient"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ring_oscillator_revolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice");
+    group.sample_size(10);
+    group.bench_function("ring_oscillator_one_revolution", |b| {
+        let node = TechNode::nm100();
+        let ro = ring_oscillator(&node, 1.8e-6, 528.0, Meters::from_milli(11.1), 5, 8);
+        let period0 = 2.0 * 5.0 * 105.94e-12;
+        let opts = TransientOptions::new(period0, period0 / 600.0)
+            .with_initial_voltage(ro.stage_inputs[0], 0.0);
+        b.iter(|| black_box(simulate(&ro.circuit, &opts).expect("transient")));
+    });
+    group.finish();
+}
+
+fn bench_sparse_lu_kernel(c: &mut Criterion) {
+    // The inner kernel: factor + solve of an MNA-shaped matrix.
+    let n = 200;
+    let mut t = TripletMatrix::new(n);
+    for i in 0..n {
+        t.push(i, i, 4.0);
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0);
+            t.push(i + 1, i, -1.0);
+        }
+    }
+    t.push(0, n - 1, -0.5);
+    t.push(n - 1, 0, -0.5);
+    let csr = t.to_csr();
+    let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    c.bench_function("spice/sparse_lu_200", |b| {
+        b.iter(|| {
+            let lu = csr.lu().expect("factor");
+            black_box(lu.solve(&rhs).expect("solve"))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ladder_transient,
+    bench_ring_oscillator_revolution,
+    bench_sparse_lu_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates the paper's **Fig. 5**: `h_optRLC / h_optRC` versus line
+//! inductance, for both technology nodes. Includes the Ismail–Friedman
+//! curve-fit baseline so the `l = 0` difference (our ratio starts below
+//! 1; the fit cannot) is visible.
+
+use rlckit::baselines::ismail_friedman_optimum;
+use rlckit::elmore::rc_optimum;
+use rlckit::report::Table;
+use rlckit::sweeps::standard_node_sweep;
+use rlckit_bench::{emit, paper_inductance_grid};
+use rlckit_tech::TechNode;
+use rlckit_tline::LineRlc;
+use rlckit_units::HenriesPerMeter;
+
+fn main() {
+    let n = 25;
+    let s250 = standard_node_sweep(&TechNode::nm250(), n).expect("sweep 250nm");
+    let s100 = standard_node_sweep(&TechNode::nm100(), n).expect("sweep 100nm");
+
+    let if_ratio = |node: &TechNode, l_nh: f64| {
+        let line = LineRlc::new(
+            node.line().resistance,
+            HenriesPerMeter::from_nano_per_milli(l_nh),
+            node.line().capacitance,
+        );
+        let fit = ismail_friedman_optimum(&line, &node.driver());
+        let rc = rc_optimum(&node.line(), &node.driver());
+        fit.segment_length.get() / rc.segment_length.get()
+    };
+
+    let mut table = Table::new(&[
+        "l (nH/mm)",
+        "h ratio 250nm",
+        "h ratio 100nm",
+        "IF fit 250nm",
+        "IF fit 100nm",
+    ]);
+    let grid = paper_inductance_grid(n);
+    for ((a, b), &l) in s250.iter().zip(&s100).zip(&grid) {
+        table.row_values(
+            &[
+                l,
+                a.h_ratio,
+                b.h_ratio,
+                if_ratio(&TechNode::nm250(), l),
+                if_ratio(&TechNode::nm100(), l),
+            ],
+            4,
+        );
+    }
+    emit(
+        "fig05_hopt_ratio",
+        "Fig. 5 — h_optRLC / h_optRC vs line inductance",
+        &table,
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Fig. 7**: ratio of the optimized delay per
+//! unit length with and without considering line inductance, for 250 nm,
+//! 100 nm, and the control case of 100 nm with the 250 nm dielectric
+//! (identical `c`) that isolates driver scaling as the cause.
+
+use rlckit::report::Table;
+use rlckit::sweeps::{delay_ratio_series, standard_node_sweep};
+use rlckit_bench::emit;
+use rlckit_tech::TechNode;
+
+fn main() {
+    let n = 25;
+    let nodes = [
+        TechNode::nm250(),
+        TechNode::nm100(),
+        TechNode::nm100_with_250nm_dielectric(),
+    ];
+    let series: Vec<Vec<(f64, f64)>> = nodes
+        .iter()
+        .map(|node| delay_ratio_series(&standard_node_sweep(node, n).expect("sweep")))
+        .collect();
+
+    let mut table = Table::new(&[
+        "l (nH/mm)",
+        "ratio 250nm",
+        "ratio 100nm",
+        "ratio 100nm (εr=3.3, identical c)",
+    ]);
+    for ((a, b), c) in series[0].iter().zip(&series[1]).zip(&series[2]) {
+        table.row_values(&[a.0, a.1, b.1, c.1], 4);
+    }
+    emit(
+        "fig07_delay_ratio",
+        "Fig. 7 — optimized (τ/h)_RLC / (τ/h)_RC vs line inductance",
+        &table,
+    );
+    println!(
+        "paper: ≈2× at 250 nm and ≈3.5× at 100 nm by l = 5 nH/mm; the identical-c control\n\
+         still rises steeply, so the susceptibility comes from the shrinking driver\n\
+         resistance and capacitance, not from the wiring.\n\n\
+         note: within the two-pole framework the control column is *exactly* the 100 nm\n\
+         column — b₁ and b₂ are invariant under c→αc, h→h/√α, k→k·√α at fixed l, so the\n\
+         normalized susceptibility curve does not depend on c at all. The paper's claim\n\
+         is an identity here, not merely an observation.\n"
+    );
+}

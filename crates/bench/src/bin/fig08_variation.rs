@@ -1,0 +1,43 @@
+//! Regenerates the paper's **Fig. 8**: the delay penalty of designing at
+//! the Elmore optimum `(h_optRC, k_optRC)` when the line actually has
+//! inductance `l` — the ratio of that configuration's RLC delay per unit
+//! length to the true RLC optimum's.
+
+use rlckit::report::Table;
+use rlckit::sweeps::{standard_node_sweep, SweepPoint};
+use rlckit_bench::emit;
+use rlckit_tech::TechNode;
+
+fn main() {
+    let n = 25;
+    let s250 = standard_node_sweep(&TechNode::nm250(), n).expect("sweep 250nm");
+    let s100 = standard_node_sweep(&TechNode::nm100(), n).expect("sweep 100nm");
+
+    let mut table = Table::new(&["l (nH/mm)", "penalty 250nm", "penalty 100nm"]);
+    for (a, b) in s250.iter().zip(&s100) {
+        table.row_values(
+            &[
+                a.inductance.to_nano_per_milli(),
+                a.variation_penalty(),
+                b.variation_penalty(),
+            ],
+            4,
+        );
+    }
+    emit(
+        "fig08_variation",
+        "Fig. 8 — (τ/h at RC design point) / (τ/h at RLC optimum) vs l",
+        &table,
+    );
+
+    let worst = |s: &[SweepPoint]| {
+        s.iter()
+            .map(SweepPoint::variation_penalty)
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "worst-case penalty: {:.1}% at 250 nm, {:.1}% at 100 nm (paper: 6% and 12%)\n",
+        (worst(&s250) - 1.0) * 100.0,
+        (worst(&s100) - 1.0) * 100.0,
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates the paper's **Fig. 9**: voltage waveforms at the input
+//! and output of one inverter of the five-stage 100 nm ring oscillator
+//! with `l = 1.8 nH/mm` — ringing visible at the input, output still
+//! "relatively clean" in the paper's device setup (our level-1 devices
+//! reach the false-switching regime slightly earlier; see
+//! EXPERIMENTS.md).
+
+use rlckit::failure::{ring_waveforms, RingOscillatorOptions};
+use rlckit::report::Table;
+use rlckit_bench::emit;
+use rlckit_tech::TechNode;
+use rlckit_units::HenriesPerMeter;
+
+fn main() {
+    emit_waveform(1.8, "fig09_waveform_1p8", "Fig. 9");
+}
+
+/// Emits the waveform table for one inductance value.
+fn emit_waveform(l_nh_mm: f64, name: &str, figure: &str) {
+    let node = TechNode::nm100();
+    let options = RingOscillatorOptions::default();
+    let w = ring_waveforms(
+        &node,
+        HenriesPerMeter::from_nano_per_milli(l_nh_mm),
+        &options,
+    )
+    .expect("ring simulation");
+
+    let mut table = Table::new(&["t (ps)", "inverter input (V)", "inverter output (V)"]);
+    // Thin the samples to keep the printed table readable; the CSV gets
+    // every fourth point, plenty for plotting.
+    for i in (0..w.times.len()).step_by(4) {
+        table.row_values(&[w.times[i] * 1e12, w.input[i], w.output[i]], 4);
+    }
+    emit(
+        name,
+        &format!(
+            "{figure} — ring-oscillator inverter input/output, 100 nm, l = {l_nh_mm} nH/mm"
+        ),
+        &table,
+    );
+    let vdd = node.supply_voltage().get();
+    println!(
+        "input overshoot above VDD: {:.3} V; input undershoot below ground: {:.3} V\n",
+        w.input_overshoot(vdd),
+        w.input_undershoot()
+    );
+}

@@ -1,0 +1,184 @@
+//! The paper's actual §3.1 calibration procedure, end to end:
+//!
+//! 1. simulate a repeater chain (real level-1 MOSFET inverters driving
+//!    RC lines) in the in-workspace simulator,
+//! 2. numerically find the `(h, k)` that minimize the measured 50 %
+//!    delay per unit length,
+//! 3. invert the closed-form optimum conditions to recover
+//!    `(r_s, c₀, c_p)`,
+//! 4. compare with the embedded Table 1 values.
+//!
+//! Agreement here means the device models, the simulator, the Elmore
+//! closed forms and the calibration inversion are all mutually
+//! consistent — the full §3.1 loop, with no step assumed.
+
+use rlckit::report::Table;
+use rlckit_bench::emit;
+use rlckit_numeric::minimize::golden_section;
+use rlckit_spice::builders::{inverter, rlc_ladder, LadderLine};
+use rlckit_spice::measure::{delay_between, Edge};
+use rlckit_spice::transient::{simulate, TransientOptions};
+use rlckit_spice::waveform::Waveform;
+use rlckit_spice::Circuit;
+use rlckit_tech::calibration::calibrate_driver;
+use rlckit_tech::device::MosParams;
+use rlckit_tech::TechNode;
+use rlckit_units::{Meters, Seconds};
+
+/// Measures the 50 % delay of one repeater stage inside a three-stage
+/// chain (interior stage, so both edges are realistic device edges).
+fn simulated_stage_delay(node: &TechNode, h_m: f64, k: f64) -> f64 {
+    let params = MosParams::for_node(node);
+    let vdd_value = node.supply_voltage().get();
+    let line = LadderLine {
+        r_per_m: node.line().resistance.get(),
+        l_per_m: 0.0,
+        c_per_m: node.line().capacitance.get(),
+    };
+
+    let mut ckt = Circuit::new();
+    let vdd = ckt.add_node("vdd");
+    ckt.voltage_source(vdd, Circuit::GROUND, Waveform::Dc(vdd_value));
+    let src = ckt.add_node("src");
+    // An inverter-shaped drive edge into the first stage.
+    ckt.voltage_source(
+        src,
+        Circuit::GROUND,
+        Waveform::step(vdd_value, 0.0, 20e-12, 20e-12),
+    );
+
+    let mut input = src;
+    let mut taps = vec![src];
+    for i in 0..3 {
+        let out = ckt.add_node(format!("o{i}"));
+        inverter(&mut ckt, input, out, vdd, params, k);
+        let next = ckt.add_node(format!("t{i}"));
+        rlc_ladder(&mut ckt, out, next, line, Meters::new(h_m), 10);
+        taps.push(next);
+        input = next;
+    }
+    // Terminating receiver.
+    let sink = ckt.add_node("sink");
+    inverter(&mut ckt, input, sink, vdd, params, k);
+
+    // Horizon from the Elmore scale of one stage.
+    let r = node.line().resistance.get();
+    let c = node.line().capacitance.get();
+    let d = node.driver();
+    let b1_estimate = d.output_resistance.get() / k * (d.parasitic_capacitance.get() * k + d.input_capacitance.get() * k)
+        + r * c * h_m * h_m / 2.0
+        + d.output_resistance.get() / k * c * h_m
+        + d.input_capacitance.get() * k * r * h_m;
+    let t_stop = 20e-12 + 8.0 * b1_estimate * 3.0;
+    let dt = b1_estimate / 150.0;
+    let res = simulate(&ckt, &TransientOptions::new(t_stop, dt)).expect("transient");
+
+    // Falling edge at tap 1 → rising at tap 2 (one interior stage).
+    let half = vdd_value / 2.0;
+    delay_between(
+        res.times(),
+        res.voltage(taps[1]),
+        res.voltage(taps[2]),
+        half,
+        Edge::Falling,
+        Edge::Rising,
+    )
+    .or_else(|| {
+        delay_between(
+            res.times(),
+            res.voltage(taps[1]),
+            res.voltage(taps[2]),
+            half,
+            Edge::Rising,
+            Edge::Falling,
+        )
+    })
+    .expect("stage delay measurable")
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "tech",
+        "h (mm) sim/paper",
+        "k sim/paper",
+        "τ (ps) sim/paper",
+        "r_s (kΩ) recal/paper",
+        "c₀ (fF) recal/paper",
+        "c_p (fF) recal/paper",
+    ]);
+
+    for node in TechNode::table1() {
+        // Nested golden-section minimization of measured τ/h over (h, k),
+        // as the paper did with SPICE sweeps.
+        let paper = rlckit::elmore::rc_optimum(&node.line(), &node.driver());
+        let h0 = paper.segment_length.get();
+        let k0 = paper.repeater_size;
+
+        let best_k_for = |h: f64| {
+            golden_section(
+                |ln_k| simulated_stage_delay(&node, h, ln_k.exp()),
+                (0.3 * k0).ln(),
+                (3.0 * k0).ln(),
+                1e-3,
+                24,
+            )
+            .expect("k search")
+            .x[0]
+                .exp()
+        };
+        let h_opt = golden_section(
+            |ln_h| {
+                let h = ln_h.exp();
+                let k = best_k_for(h);
+                simulated_stage_delay(&node, h, k) / h
+            },
+            (0.4 * h0).ln(),
+            (2.5 * h0).ln(),
+            1e-3,
+            20,
+        )
+        .expect("h search")
+        .x[0]
+            .exp();
+        let k_opt = best_k_for(h_opt);
+        let tau_opt = simulated_stage_delay(&node, h_opt, k_opt);
+
+        let recal = calibrate_driver(
+            node.line().resistance,
+            node.line().capacitance,
+            Meters::new(h_opt),
+            k_opt,
+            Seconds::new(tau_opt),
+        );
+
+        let driver = node.driver();
+        let (rs, c0, cp) = match &recal {
+            Ok(d) => (
+                format!("{:.2}", d.output_resistance.get() / 1e3),
+                format!("{:.2}", d.input_capacitance.get() * 1e15),
+                format!("{:.2}", d.parasitic_capacitance.get() * 1e15),
+            ),
+            Err(e) => (format!("{e}"), "-".into(), "-".into()),
+        };
+        table.row(&[
+            node.name(),
+            &format!("{:.1} / {:.1}", h_opt * 1e3, h0 * 1e3),
+            &format!("{:.0} / {:.0}", k_opt, k0),
+            &format!("{:.0} / {:.0}", tau_opt * 1e12, paper.segment_delay.get() * 1e12),
+            &format!("{rs} / {:.3}", driver.output_resistance.get() / 1e3),
+            &format!("{c0} / {:.4}", driver.input_capacitance.get() * 1e15),
+            &format!("{cp} / {:.4}", driver.parasitic_capacitance.get() * 1e15),
+        ]);
+    }
+
+    emit(
+        "table1_spice_calibration",
+        "Table 1 via the paper's §3.1 procedure: simulate → optimize → calibrate",
+        &table,
+    );
+    println!(
+        "the simulated optimum uses nonlinear level-1 inverters, so a modest offset from\n\
+         the linearized closed forms is expected; landing in the same neighbourhood closes\n\
+         the paper's calibration loop end to end.\n"
+    );
+}

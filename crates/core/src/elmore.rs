@@ -1,0 +1,181 @@
+//! Elmore-delay (RC) repeater insertion — the paper's baseline (§3.1).
+//!
+//! For a long line broken into buffered segments, the total Elmore delay
+//! is minimized in closed form:
+//!
+//! ```text
+//! h_optRC = √(2·r_s·(c₀+c_p)/(r·c))        k_optRC = √(r_s·c/(r·c₀))
+//! τ_optRC = 2·r_s·(c₀+c_p)·(1 + √(2c₀/(c₀+c_p)))
+//! ```
+//!
+//! `τ_optRC` is independent of `r` and `c` and is therefore a technology
+//! constant — the quantity the paper tracks across scaling.
+
+use rlckit_tech::{DriverParams, LineParams};
+use rlckit_units::{Meters, Seconds};
+
+/// The closed-form Elmore-optimal repeater insertion.
+///
+/// # Examples
+///
+/// Reproducing the derived columns of the paper's Table 1:
+///
+/// ```
+/// use rlckit::elmore::rc_optimum;
+/// use rlckit_tech::TechNode;
+///
+/// let node = TechNode::nm250();
+/// let opt = rc_optimum(&node.line(), &node.driver());
+/// assert!((opt.segment_length.get() * 1e3 - 14.4).abs() < 0.05); // mm
+/// assert!((opt.repeater_size - 578.0).abs() < 1.0);
+/// assert!((opt.segment_delay.get() * 1e12 - 305.17).abs() < 0.5); // ps
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcOptimum {
+    /// Optimal segment length `h_optRC`.
+    pub segment_length: Meters,
+    /// Optimal repeater size `k_optRC` (× minimum).
+    pub repeater_size: f64,
+    /// Elmore delay of one optimal segment, `τ_optRC`.
+    pub segment_delay: Seconds,
+}
+
+impl RcOptimum {
+    /// Delay per unit length `τ/h` at the optimum, in s/m.
+    #[must_use]
+    pub fn delay_per_length(&self) -> f64 {
+        self.segment_delay.get() / self.segment_length.get()
+    }
+
+    /// Total delay of a line of the given length when cut into optimal
+    /// segments (`L/h·τ`, the continuous relaxation the paper uses).
+    #[must_use]
+    pub fn total_delay(&self, line_length: Meters) -> Seconds {
+        Seconds::new(self.delay_per_length() * line_length.get())
+    }
+}
+
+/// Computes the Elmore-optimal repeater insertion for a technology.
+#[must_use]
+pub fn rc_optimum(line: &LineParams, driver: &DriverParams) -> RcOptimum {
+    let r = line.resistance.get();
+    let c = line.capacitance.get();
+    let rs = driver.output_resistance.get();
+    let c0 = driver.input_capacitance.get();
+    let cp = driver.parasitic_capacitance.get();
+
+    let h = (2.0 * rs * (c0 + cp) / (r * c)).sqrt();
+    let k = (rs * c / (r * c0)).sqrt();
+    let tau = 2.0 * rs * (c0 + cp) * (1.0 + (2.0 * c0 / (c0 + cp)).sqrt());
+    RcOptimum {
+        segment_length: Meters::new(h),
+        repeater_size: k,
+        segment_delay: Seconds::new(tau),
+    }
+}
+
+/// The Elmore delay of one buffered segment at arbitrary `(h, k)` —
+/// the objective the closed forms above minimize:
+/// `τ = (r_s/k)(c_p·k + c₀·k) + (r_s/k)·c·h + r·h·c₀·k + r·c·h²/2`.
+///
+/// # Panics
+///
+/// Panics unless `h` and `k` are strictly positive.
+#[must_use]
+pub fn elmore_segment_delay(
+    line: &LineParams,
+    driver: &DriverParams,
+    segment_length: Meters,
+    repeater_size: f64,
+) -> Seconds {
+    let h = segment_length.get();
+    assert!(h > 0.0, "segment length must be positive");
+    assert!(repeater_size > 0.0, "repeater size must be positive");
+    let r = line.resistance.get();
+    let c = line.capacitance.get();
+    let rs = driver.output_resistance.get();
+    let c0 = driver.input_capacitance.get();
+    let cp = driver.parasitic_capacitance.get();
+    let k = repeater_size;
+    Seconds::new(rs * (cp + c0) + (rs / k) * c * h + r * h * c0 * k + r * c * h * h / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_tech::TechNode;
+
+    #[test]
+    fn table1_250nm_row() {
+        let n = TechNode::nm250();
+        let opt = rc_optimum(&n.line(), &n.driver());
+        assert!((opt.segment_length.get() - 14.4e-3).abs() < 5e-5);
+        assert!((opt.repeater_size - 578.0).abs() < 0.5);
+        assert!((opt.segment_delay.get() - 305.17e-12).abs() < 0.5e-12);
+    }
+
+    #[test]
+    fn table1_100nm_row() {
+        let n = TechNode::nm100();
+        let opt = rc_optimum(&n.line(), &n.driver());
+        assert!((opt.segment_length.get() - 11.1e-3).abs() < 5e-5);
+        assert!((opt.repeater_size - 528.0).abs() < 1.0);
+        assert!((opt.segment_delay.get() - 105.94e-12).abs() < 0.2e-12);
+    }
+
+    #[test]
+    fn optimum_is_a_minimum_of_the_elmore_objective() {
+        let n = TechNode::nm100();
+        let opt = rc_optimum(&n.line(), &n.driver());
+        let at = |h_scale: f64, k_scale: f64| {
+            elmore_segment_delay(
+                &n.line(),
+                &n.driver(),
+                opt.segment_length * h_scale,
+                opt.repeater_size * k_scale,
+            )
+            .get()
+                / (opt.segment_length.get() * h_scale)
+        };
+        let best = at(1.0, 1.0);
+        for (hs, ks) in [(0.8, 1.0), (1.2, 1.0), (1.0, 0.8), (1.0, 1.2), (1.1, 0.9)] {
+            assert!(at(hs, ks) > best, "perturbation ({hs}, {ks}) did not increase τ/h");
+        }
+    }
+
+    #[test]
+    fn segment_delay_matches_objective_at_optimum() {
+        let n = TechNode::nm250();
+        let opt = rc_optimum(&n.line(), &n.driver());
+        let tau = elmore_segment_delay(
+            &n.line(),
+            &n.driver(),
+            opt.segment_length,
+            opt.repeater_size,
+        );
+        assert!((tau.get() - opt.segment_delay.get()).abs() / opt.segment_delay.get() < 1e-12);
+    }
+
+    #[test]
+    fn total_delay_scales_linearly() {
+        let n = TechNode::nm250();
+        let opt = rc_optimum(&n.line(), &n.driver());
+        let d1 = opt.total_delay(Meters::from_milli(10.0));
+        let d2 = opt.total_delay(Meters::from_milli(20.0));
+        assert!((d2.get() / d1.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_opt_is_independent_of_wiring_level() {
+        // Change r and c: h and k move, τ_optRC must not.
+        let n = TechNode::nm250();
+        let a = rc_optimum(&n.line(), &n.driver());
+        let other_line = rlckit_tech::LineParams::new(
+            rlckit_units::OhmsPerMeter::from_ohm_per_milli(20.0),
+            rlckit_units::FaradsPerMeter::from_pico(90.0),
+        );
+        let b = rc_optimum(&other_line, &n.driver());
+        assert!((a.segment_delay.get() - b.segment_delay.get()).abs() < 1e-18);
+        assert!(a.segment_length != b.segment_length);
+    }
+}

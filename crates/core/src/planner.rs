@@ -1,0 +1,280 @@
+//! Route planning: from the continuous optimum to an implementable
+//! repeater plan.
+//!
+//! The paper minimizes delay per unit length, implicitly allowing a
+//! fractional number of segments (`L/h`). A real route needs an integer
+//! repeater count, and designers care about the cost side — total
+//! repeater area and switching capacitance — as well as the delay. This
+//! module discretizes the optimum and exposes the cost/delay trade-off.
+
+use rlckit_numeric::{NumericError, Result};
+use rlckit_tech::DriverParams;
+use rlckit_tline::LineRlc;
+use rlckit_units::{Farads, Meters, Seconds};
+
+use crate::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
+
+/// An implementable repeater plan for a route of fixed length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutePlan {
+    /// Number of buffered segments (= number of repeaters).
+    pub segments: usize,
+    /// Realized segment length `L/N`.
+    pub segment_length: Meters,
+    /// Repeater size, re-optimized for the realized segment length.
+    pub repeater_size: f64,
+    /// Total route delay with the integer plan.
+    pub total_delay: Seconds,
+    /// The continuous-relaxation lower bound (`L/h_opt · τ_opt`).
+    pub continuous_bound: Seconds,
+    /// Total repeater input+parasitic capacitance of the plan — the
+    /// switching-energy cost proxy (`N·k·(c₀+c_p)`).
+    pub repeater_capacitance: Farads,
+}
+
+impl RoutePlan {
+    /// Discretization penalty over the continuous relaxation (≥ 1).
+    #[must_use]
+    pub fn discretization_penalty(&self) -> f64 {
+        self.total_delay.get() / self.continuous_bound.get()
+    }
+}
+
+/// Re-optimizes the repeater size for a *fixed* segment length by
+/// golden-section search on the rigorous delay (the `h` is dictated by
+/// the integer segmentation; only `k` is free).
+///
+/// # Errors
+///
+/// Propagates delay-solver failures.
+pub fn optimal_size_for_length(
+    line: &LineRlc,
+    driver: &DriverParams,
+    segment_length: Meters,
+    threshold: f64,
+) -> Result<f64> {
+    let objective = |ln_k: f64| {
+        segment_delay(line, driver, segment_length, ln_k.exp(), threshold)
+            .map_or(f64::INFINITY, |d| d.get())
+    };
+    let minimum = rlckit_numeric::minimize::golden_section(
+        objective,
+        (1.0f64).ln(),
+        (20_000.0f64).ln(),
+        1e-10,
+        400,
+    )?;
+    Ok(minimum.x[0].exp())
+}
+
+/// Plans repeater insertion for a route of length `route_length`:
+/// rounds the continuous optimum to the neighbouring integer segment
+/// counts, re-optimizes `k` for each, and returns the faster plan.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if the route is shorter than
+/// one optimal segment (no repeater needed — drive it directly), and
+/// propagates optimizer failures.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit::planner::plan_route;
+/// use rlckit::prelude::*;
+///
+/// # fn main() -> Result<(), rlckit_numeric::NumericError> {
+/// let node = TechNode::nm100();
+/// let line = LineRlc::new(
+///     node.line().resistance,
+///     HenriesPerMeter::from_nano_per_milli(1.8),
+///     node.line().capacitance,
+/// );
+/// let plan = plan_route(&line, &node.driver(), Meters::from_milli(40.0), 0.5)?;
+/// assert!(plan.segments >= 2);
+/// assert!(plan.discretization_penalty() < 1.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn plan_route(
+    line: &LineRlc,
+    driver: &DriverParams,
+    route_length: Meters,
+    threshold: f64,
+) -> Result<RoutePlan> {
+    let options = OptimizerOptions {
+        threshold,
+        ..OptimizerOptions::default()
+    };
+    let continuous = optimize_rlc(line, driver, options)?;
+    let length = route_length.get();
+    let ideal_segments = length / continuous.segment_length.get();
+    if ideal_segments < 1.0 {
+        return Err(NumericError::InvalidInput(format!(
+            "route ({route_length}) is shorter than one optimal segment ({}); \
+             repeater insertion does not pay",
+            continuous.segment_length
+        )));
+    }
+    let continuous_bound = Seconds::new(continuous.delay_per_length() * length);
+
+    let mut best: Option<RoutePlan> = None;
+    for n in [ideal_segments.floor() as usize, ideal_segments.ceil() as usize] {
+        if n == 0 {
+            continue;
+        }
+        let h = Meters::new(length / n as f64);
+        let k = optimal_size_for_length(line, driver, h, threshold)?;
+        let tau = segment_delay(line, driver, h, k, threshold)?;
+        let plan = RoutePlan {
+            segments: n,
+            segment_length: h,
+            repeater_size: k,
+            total_delay: Seconds::new(tau.get() * n as f64),
+            continuous_bound,
+            repeater_capacitance: Farads::new(
+                n as f64
+                    * k
+                    * (driver.input_capacitance.get() + driver.parasitic_capacitance.get()),
+            ),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| plan.total_delay.get() < b.total_delay.get())
+        {
+            best = Some(plan);
+        }
+    }
+    Ok(best.expect("at least one candidate"))
+}
+
+/// The delay/cost trade-off around the optimum: plans forced to use
+/// `segments` repeaters for each count in `range`, exposing how much
+/// delay each saved repeater costs.
+///
+/// # Errors
+///
+/// Propagates solver failures; counts of zero are skipped.
+pub fn segment_count_tradeoff(
+    line: &LineRlc,
+    driver: &DriverParams,
+    route_length: Meters,
+    threshold: f64,
+    range: impl IntoIterator<Item = usize>,
+) -> Result<Vec<RoutePlan>> {
+    let options = OptimizerOptions {
+        threshold,
+        ..OptimizerOptions::default()
+    };
+    let continuous = optimize_rlc(line, driver, options)?;
+    let continuous_bound =
+        Seconds::new(continuous.delay_per_length() * route_length.get());
+    let mut plans = Vec::new();
+    for n in range {
+        if n == 0 {
+            continue;
+        }
+        let h = Meters::new(route_length.get() / n as f64);
+        let k = optimal_size_for_length(line, driver, h, threshold)?;
+        let tau = segment_delay(line, driver, h, k, threshold)?;
+        plans.push(RoutePlan {
+            segments: n,
+            segment_length: h,
+            repeater_size: k,
+            total_delay: Seconds::new(tau.get() * n as f64),
+            continuous_bound,
+            repeater_capacitance: Farads::new(
+                n as f64
+                    * k
+                    * (driver.input_capacitance.get() + driver.parasitic_capacitance.get()),
+            ),
+        });
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_tech::TechNode;
+    use rlckit_units::HenriesPerMeter;
+
+    fn setup() -> (LineRlc, DriverParams) {
+        let node = TechNode::nm100();
+        (
+            LineRlc::new(
+                node.line().resistance,
+                HenriesPerMeter::from_nano_per_milli(1.8),
+                node.line().capacitance,
+            ),
+            node.driver(),
+        )
+    }
+
+    #[test]
+    fn plan_rounds_the_continuous_optimum() {
+        let (line, driver) = setup();
+        let continuous =
+            optimize_rlc(&line, &driver, OptimizerOptions::default()).unwrap();
+        let route = Meters::from_milli(50.0);
+        let plan = plan_route(&line, &driver, route, 0.5).unwrap();
+        let ideal = route.get() / continuous.segment_length.get();
+        assert!(
+            plan.segments == ideal.floor() as usize || plan.segments == ideal.ceil() as usize
+        );
+        assert!((plan.segment_length.get() * plan.segments as f64 - route.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_plan_cannot_beat_the_continuous_bound() {
+        let (line, driver) = setup();
+        for mm in [25.0, 40.0, 73.0] {
+            let plan = plan_route(&line, &driver, Meters::from_milli(mm), 0.5).unwrap();
+            assert!(
+                plan.total_delay.get() >= plan.continuous_bound.get() * (1.0 - 1e-9),
+                "{mm} mm: {:?}",
+                plan
+            );
+            assert!(plan.discretization_penalty() < 1.1, "{mm} mm penalty");
+        }
+    }
+
+    #[test]
+    fn short_route_is_rejected() {
+        let (line, driver) = setup();
+        let err = plan_route(&line, &driver, Meters::from_milli(5.0), 0.5);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn size_reoptimization_adapts_to_forced_length() {
+        let (line, driver) = setup();
+        // Shorter segments want smaller relative drive than the optimal-h
+        // segments of the same line? Verify the re-optimized k actually
+        // minimizes the delay at its h.
+        let h = Meters::from_milli(9.0);
+        let k = optimal_size_for_length(&line, &driver, h, 0.5).unwrap();
+        let at = |kk: f64| segment_delay(&line, &driver, h, kk, 0.5).unwrap().get();
+        assert!(at(k) <= at(k * 1.05) && at(k) <= at(k * 0.95));
+    }
+
+    #[test]
+    fn tradeoff_is_convex_around_the_best_count() {
+        let (line, driver) = setup();
+        let route = Meters::from_milli(60.0);
+        let best = plan_route(&line, &driver, route, 0.5).unwrap();
+        let lo = best.segments.saturating_sub(2).max(1);
+        let plans =
+            segment_count_tradeoff(&line, &driver, route, 0.5, lo..=best.segments + 2).unwrap();
+        let best_delay = plans
+            .iter()
+            .map(|p| p.total_delay.get())
+            .fold(f64::MAX, f64::min);
+        assert!((best.total_delay.get() - best_delay).abs() / best_delay < 1e-9);
+        // Fewer repeaters always means less repeater capacitance.
+        for w in plans.windows(2) {
+            assert!(w[1].repeater_capacitance.get() > 0.0);
+            assert!(w[1].segments > w[0].segments);
+        }
+    }
+}

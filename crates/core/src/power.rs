@@ -1,0 +1,247 @@
+//! Switching power and glitch-energy estimates.
+//!
+//! The paper notes (§1.1) that inductive glitches "increase the dynamic
+//! power dissipation" on top of their logic hazard. This module supplies
+//! the standard first-order estimates for a buffered line — total
+//! switched capacitance, `C·V²·f` dynamic power — plus the glitch-energy
+//! multiplier implied by the two-pole ringing (each overshoot/undershoot
+//! cycle re-charges part of the load).
+
+use rlckit_tech::DriverParams;
+use rlckit_tline::twopole::Damping;
+use rlckit_tline::LineRlc;
+use rlckit_units::{Farads, Hertz, Meters, Volts, Watts};
+
+use crate::optimizer::segment_structure;
+
+/// First-order power estimate for one buffered segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentPower {
+    /// Total switched capacitance per segment: line + repeater.
+    pub switched_capacitance: Farads,
+    /// Dynamic power at the given clock and activity.
+    pub dynamic_power: Watts,
+    /// Extra charge factor from inductive ringing (≥ 1; 1 when the
+    /// segment is not underdamped).
+    pub glitch_factor: f64,
+}
+
+/// Estimates the switching power of one segment of a buffered line.
+///
+/// `activity` is the switching probability per cycle (0–1). The glitch
+/// factor integrates the ringing excursions of the two-pole response:
+/// each ring cycle moves `2·(peak − settled)` of normalized charge, so
+/// the factor is `1 + 2·Σ overshoot-decay`, in closed form
+/// `1 + 2·e^{−απ/ω_d}/(1 − e^{−απ/ω_d})` for underdamped segments.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ activity ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit::power::segment_power;
+/// use rlckit::prelude::*;
+///
+/// let node = TechNode::nm100();
+/// let line = LineRlc::new(
+///     node.line().resistance,
+///     HenriesPerMeter::from_nano_per_milli(3.0),
+///     node.line().capacitance,
+/// );
+/// let p = segment_power(
+///     &line,
+///     &node.driver(),
+///     Meters::from_milli(11.1),
+///     528.0,
+///     node.supply_voltage(),
+///     Hertz::from_giga(1.0),
+///     0.15,
+/// );
+/// assert!(p.glitch_factor > 1.0); // underdamped at 3 nH/mm
+/// assert!(p.dynamic_power.get() > 0.0);
+/// ```
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn segment_power(
+    line: &LineRlc,
+    driver: &DriverParams,
+    segment_length: Meters,
+    repeater_size: f64,
+    supply: Volts,
+    clock: Hertz,
+    activity: f64,
+) -> SegmentPower {
+    assert!((0.0..=1.0).contains(&activity), "activity must be in [0, 1]");
+    let c_line = line.capacitance().get() * segment_length.get();
+    let c_rep = repeater_size
+        * (driver.input_capacitance.get() + driver.parasitic_capacitance.get());
+    let switched = c_line + c_rep;
+
+    let two_pole = segment_structure(line, driver, segment_length, repeater_size).two_pole();
+    let glitch_factor = if two_pole.damping() == Damping::Underdamped {
+        let disc = -two_pole.discriminant();
+        let alpha = two_pole.b1() / (2.0 * two_pole.b2());
+        let omega_d = disc.sqrt() / (2.0 * two_pole.b2());
+        let ring = (-alpha * core::f64::consts::PI / omega_d).exp();
+        1.0 + 2.0 * ring / (1.0 - ring)
+    } else {
+        1.0
+    };
+
+    let v = supply.get();
+    let power = activity * switched * v * v * clock.get() * glitch_factor;
+    SegmentPower {
+        switched_capacitance: Farads::new(switched),
+        dynamic_power: Watts::new(power),
+        glitch_factor,
+    }
+}
+
+/// Total power of a route of `segments` identical buffered segments.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn route_power(
+    line: &LineRlc,
+    driver: &DriverParams,
+    segment_length: Meters,
+    repeater_size: f64,
+    segments: usize,
+    supply: Volts,
+    clock: Hertz,
+    activity: f64,
+) -> Watts {
+    let per_segment = segment_power(
+        line,
+        driver,
+        segment_length,
+        repeater_size,
+        supply,
+        clock,
+        activity,
+    );
+    per_segment.dynamic_power * segments as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_tech::TechNode;
+    use rlckit_units::HenriesPerMeter;
+
+    fn setup(l_nh: f64) -> (LineRlc, DriverParams, Volts) {
+        let node = TechNode::nm100();
+        (
+            LineRlc::new(
+                node.line().resistance,
+                HenriesPerMeter::from_nano_per_milli(l_nh),
+                node.line().capacitance,
+            ),
+            node.driver(),
+            node.supply_voltage(),
+        )
+    }
+
+    #[test]
+    fn power_scales_with_activity_and_clock() {
+        let (line, driver, vdd) = setup(0.0);
+        let at = |clock: f64, act: f64| {
+            segment_power(
+                &line,
+                &driver,
+                Meters::from_milli(11.1),
+                528.0,
+                vdd,
+                Hertz::from_giga(clock),
+                act,
+            )
+            .dynamic_power
+            .get()
+        };
+        assert!((at(2.0, 0.1) / at(1.0, 0.1) - 2.0).abs() < 1e-12);
+        assert!((at(1.0, 0.3) / at(1.0, 0.1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glitch_factor_is_one_when_overdamped() {
+        let (line, driver, vdd) = setup(0.0);
+        let p = segment_power(
+            &line,
+            &driver,
+            Meters::from_milli(11.1),
+            528.0,
+            vdd,
+            Hertz::from_giga(1.0),
+            0.15,
+        );
+        assert_eq!(p.glitch_factor, 1.0);
+    }
+
+    #[test]
+    fn glitch_factor_grows_with_inductance() {
+        let vdd = TechNode::nm100().supply_voltage();
+        let driver = TechNode::nm100().driver();
+        let factor = |l_nh: f64| {
+            let (line, _, _) = setup(l_nh);
+            segment_power(
+                &line,
+                &driver,
+                Meters::from_milli(11.1),
+                528.0,
+                vdd,
+                Hertz::from_giga(1.0),
+                0.15,
+            )
+            .glitch_factor
+        };
+        let f1 = factor(1.0);
+        let f3 = factor(3.0);
+        let f5 = factor(4.9);
+        assert!(f1 >= 1.0);
+        assert!(f3 > f1, "{f3} !> {f1}");
+        assert!(f5 > f3, "{f5} !> {f3}");
+        // Stays bounded for the paper's range.
+        assert!(f5 < 4.0, "glitch factor exploded: {f5}");
+    }
+
+    #[test]
+    fn route_power_is_segment_power_times_count() {
+        let (line, driver, vdd) = setup(2.0);
+        let seg = segment_power(
+            &line,
+            &driver,
+            Meters::from_milli(11.1),
+            528.0,
+            vdd,
+            Hertz::from_giga(1.0),
+            0.2,
+        );
+        let total = route_power(
+            &line,
+            &driver,
+            Meters::from_milli(11.1),
+            528.0,
+            4,
+            vdd,
+            Hertz::from_giga(1.0),
+            0.2,
+        );
+        assert!((total.get() - 4.0 * seg.dynamic_power.get()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn activity_out_of_range_panics() {
+        let (line, driver, vdd) = setup(1.0);
+        let _ = segment_power(
+            &line,
+            &driver,
+            Meters::from_milli(11.1),
+            528.0,
+            vdd,
+            Hertz::from_giga(1.0),
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Wire resistance per unit length.
+
+use rlckit_units::OhmsPerMeter;
+
+use crate::geometry::{Material, WireGeometry};
+
+/// Resistance per unit length `r = ρ / (w·t)` at the material's reference
+/// temperature.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_extract::geometry::{Material, WireGeometry};
+/// use rlckit_extract::resistance::resistance_per_length;
+/// use rlckit_units::Meters;
+///
+/// let wire = WireGeometry::new(
+///     Meters::from_micro(2.0),
+///     Meters::from_micro(2.5),
+///     Meters::from_micro(2.0),
+///     Meters::from_micro(13.9),
+/// );
+/// let r = resistance_per_length(&wire, Material::COPPER_INTERCONNECT);
+/// assert!((r.to_ohm_per_milli() - 4.4).abs() < 0.01); // Table 1
+/// ```
+#[must_use]
+pub fn resistance_per_length(wire: &WireGeometry, material: Material) -> OhmsPerMeter {
+    OhmsPerMeter::new(material.resistivity() / wire.cross_section_area())
+}
+
+/// Resistance per unit length at an operating temperature in °C.
+///
+/// Joule heating raises wire temperature well above ambient in
+/// high-current global wires (the reliability concern of the paper's
+/// §3.3.2 reference \[28\]); this variant exposes that dependence.
+#[must_use]
+pub fn resistance_per_length_at(
+    wire: &WireGeometry,
+    material: Material,
+    temperature: f64,
+) -> OhmsPerMeter {
+    OhmsPerMeter::new(material.resistivity_at(temperature) / wire.cross_section_area())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_units::Meters;
+
+    fn table1_wire() -> WireGeometry {
+        WireGeometry::new(
+            Meters::from_micro(2.0),
+            Meters::from_micro(2.5),
+            Meters::from_micro(2.0),
+            Meters::from_micro(13.9),
+        )
+    }
+
+    #[test]
+    fn matches_table1_for_both_nodes() {
+        // Both technology nodes share the same top-metal cross-section and
+        // therefore the same 4.4 Ω/mm.
+        let r = resistance_per_length(&table1_wire(), Material::COPPER_INTERCONNECT);
+        assert!((r.to_ohm_per_milli() - 4.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn aluminum_is_half_again_more_resistive() {
+        let cu = resistance_per_length(&table1_wire(), Material::COPPER_INTERCONNECT);
+        let al = resistance_per_length(&table1_wire(), Material::ALUMINUM_INTERCONNECT);
+        assert!((al.get() / cu.get() - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn temperature_raises_resistance() {
+        let wire = table1_wire();
+        let cold = resistance_per_length_at(&wire, Material::COPPER_INTERCONNECT, 25.0);
+        let hot = resistance_per_length_at(&wire, Material::COPPER_INTERCONNECT, 105.0);
+        assert!(hot.get() > cold.get());
+        assert!((hot.get() / cold.get() - 1.312).abs() < 1e-3);
+    }
+
+    #[test]
+    fn narrower_wire_is_more_resistive() {
+        let narrow = WireGeometry::new(
+            Meters::from_micro(1.0),
+            Meters::from_micro(2.5),
+            Meters::from_micro(2.0),
+            Meters::from_micro(13.9),
+        );
+        let r_narrow = resistance_per_length(&narrow, Material::COPPER_INTERCONNECT);
+        let r_wide = resistance_per_length(&table1_wire(), Material::COPPER_INTERCONNECT);
+        assert!((r_narrow.get() / r_wide.get() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all numeric routines.
+
+use core::fmt;
+
+/// Errors produced by the numeric kernels.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_numeric::{dense::Matrix, NumericError};
+///
+/// let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+/// match singular.lu() {
+///     Err(NumericError::SingularMatrix { pivot }) => assert!(pivot < 2),
+///     other => panic!("expected singular matrix, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A (near-)zero pivot was encountered during factorization.
+    SingularMatrix {
+        /// Index of the elimination step at which the pivot vanished.
+        pivot: usize,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+        /// Residual magnitude at the last iterate.
+        residual: f64,
+    },
+    /// A root bracket `[a, b]` did not actually bracket a sign change.
+    InvalidBracket {
+        /// Lower end of the offending bracket.
+        lo: f64,
+        /// Upper end of the offending bracket.
+        hi: f64,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidInput(String),
+    /// Dimensions of the operands do not agree.
+    DimensionMismatch {
+        /// Dimension expected by the routine.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at elimination step {pivot}")
+            }
+            Self::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Self::InvalidBracket { lo, hi } => {
+                write!(f, "interval [{lo:.6e}, {hi:.6e}] does not bracket a root")
+            }
+            Self::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericError::NoConvergence {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        let msg = format!("{e}");
+        assert!(msg.starts_with("no convergence"));
+        assert!(msg.contains("50"));
+
+        let e = NumericError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(format!("{e}"), "dimension mismatch: expected 3, got 2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

@@ -1,0 +1,93 @@
+//! Sweep-grid helpers for parameter studies.
+
+/// Returns `n` evenly spaced points from `start` to `end` inclusive.
+///
+/// Returns an empty vector for `n = 0` and `[start]` for `n = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_numeric::grid::linspace;
+///
+/// let l = linspace(0.0, 5.0, 6);
+/// assert_eq!(l, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[must_use]
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (end - start) / (n - 1) as f64;
+            (0..n)
+                .map(|i| {
+                    if i == n - 1 {
+                        end
+                    } else {
+                        start + step * i as f64
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Returns `n` logarithmically spaced points from `start` to `end`
+/// inclusive.
+///
+/// # Panics
+///
+/// Panics if `start` or `end` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_numeric::grid::logspace;
+///
+/// let l = logspace(1.0, 100.0, 3);
+/// assert!((l[1] - 10.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn logspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(
+        start > 0.0 && end > 0.0,
+        "logspace endpoints must be positive"
+    );
+    linspace(start.ln(), end.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_are_exact() {
+        let l = linspace(0.1, 0.7, 7);
+        assert_eq!(l.len(), 7);
+        assert_eq!(l[0], 0.1);
+        assert_eq!(l[6], 0.7);
+    }
+
+    #[test]
+    fn linspace_degenerate_cases() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(2.0, 9.0, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let l = logspace(1e-3, 1e3, 7);
+        for w in l.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logspace_rejects_nonpositive() {
+        let _ = logspace(0.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Numerical kernels for the `rlckit` workspace.
+//!
+//! Everything the Banerjee–Mehrotra reproduction needs that a general
+//! scientific stack would provide is implemented here from scratch:
+//!
+//! * [`complex`] — a `Complex` type with the transcendental functions used
+//!   by transmission-line transfer functions (`exp`, `sqrt`, `cosh`, …).
+//! * [`dense`] — dense matrices and LU factorization with partial
+//!   pivoting, used by small modified-nodal-analysis systems and the
+//!   2×2 Newton steps of the optimizer.
+//! * [`sparse`] — a triplet-assembled sparse matrix and a sparse LU solver
+//!   with partial pivoting, used by the circuit-simulator substrate.
+//! * [`roots`] — scalar root finding (Newton–Raphson, bisection, Brent,
+//!   bracket expansion) and damped Newton for nonlinear systems.
+//! * [`minimize`] — golden-section search and Nelder–Mead, used as
+//!   derivative-free cross-checks of the paper's Newton optimizer.
+//! * [`poly`] — dense polynomials with Durand–Kerner complex root finding,
+//!   used by the higher-order (AWE-style) reduced models.
+//! * [`series`] — truncated Taylor-series algebra in the Laplace variable
+//!   `s`, used to extract the transfer-function moments `b₁ … b_N`.
+//! * [`ilt`] — numerical inverse Laplace transforms (Abate–Whitt Euler and
+//!   fixed Talbot), the oracle for the two-pole Padé approximation.
+//! * [`grid`] — `linspace`/`logspace` sweep helpers.
+//! * [`stats`] — peak/rms/mean of (possibly non-uniformly) sampled
+//!   waveforms.
+//! * [`fd`] — finite-difference derivative helpers.
+//!
+//! # Examples
+//!
+//! Solving a linear system:
+//!
+//! ```
+//! use rlckit_numeric::dense::Matrix;
+//!
+//! # fn main() -> Result<(), rlckit_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.lu()?.solve(&[1.0, 2.0])?;
+//! assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+//! assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod dense;
+pub mod fd;
+pub mod grid;
+pub mod ilt;
+pub mod minimize;
+pub mod poly;
+pub mod roots;
+pub mod series;
+pub mod sparse;
+pub mod stats;
+
+mod error;
+
+pub use complex::Complex;
+pub use error::NumericError;
+
+/// Convenient result alias for fallible numeric routines.
+pub type Result<T> = core::result::Result<T, NumericError>;

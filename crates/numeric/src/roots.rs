@@ -1,0 +1,612 @@
+//! Scalar and small-system root finding.
+//!
+//! The paper's delay computation solves the transcendental crossing
+//! equation (Eq. 3) with Newton–Raphson; this module provides that solver
+//! plus the bracketing fallbacks that make it robust far from the
+//! asymptotic regime, and a damped Newton for small nonlinear systems.
+
+use crate::{NumericError, Result};
+
+/// Options controlling an iterative root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-14,
+            f_tol: 1e-14,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// The result of a converged root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Residual at the returned abscissa.
+    pub residual: f64,
+    /// Number of iterations spent.
+    pub iterations: usize,
+}
+
+/// Finds a root of `f` by Newton–Raphson from `x0` using derivative `df`.
+///
+/// Convergence is declared when either the step or the residual falls
+/// below the configured tolerances.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] if the iteration budget is
+/// exhausted, and [`NumericError::InvalidInput`] if the derivative
+/// vanishes or an iterate becomes non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_numeric::roots::{newton_raphson, RootOptions};
+///
+/// # fn main() -> Result<(), rlckit_numeric::NumericError> {
+/// let root = newton_raphson(|x| x * x - 2.0, |x| 2.0 * x, 1.0, RootOptions::default())?;
+/// assert!((root.x - 2.0_f64.sqrt()).abs() < 1e-12);
+/// assert!(root.iterations <= 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_raphson(
+    mut f: impl FnMut(f64) -> f64,
+    mut df: impl FnMut(f64) -> f64,
+    x0: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    let mut x = x0;
+    for iteration in 1..=options.max_iterations {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericError::InvalidInput(format!(
+                "residual became non-finite at x = {x:.6e}"
+            )));
+        }
+        if fx.abs() <= options.f_tol {
+            return Ok(Root {
+                x,
+                residual: fx,
+                iterations: iteration - 1,
+            });
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericError::InvalidInput(format!(
+                "derivative vanished at x = {x:.6e}"
+            )));
+        }
+        let step = fx / dfx;
+        x -= step;
+        if !x.is_finite() {
+            return Err(NumericError::InvalidInput(
+                "iterate became non-finite".to_string(),
+            ));
+        }
+        if step.abs() <= options.x_tol * x.abs().max(1.0) {
+            return Ok(Root {
+                x,
+                residual: f(x),
+                iterations: iteration,
+            });
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f(x).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if `f(lo)` and `f(hi)` have
+/// the same sign, and [`NumericError::NoConvergence`] if the budget is
+/// exhausted before the interval shrinks below tolerance.
+pub fn bisection(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    let (mut a, mut b) = (lo.min(hi), lo.max(hi));
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { lo: a, hi: b });
+    }
+    for iteration in 1..=options.max_iterations {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) <= options.x_tol * mid.abs().max(1.0) {
+            return Ok(Root {
+                x: mid,
+                residual: fm,
+                iterations: iteration,
+            });
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f(0.5 * (a + b)).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` by Brent's method.
+///
+/// Combines bisection, secant and inverse quadratic interpolation; this is
+/// the derivative-free workhorse used when Newton's method is not safe.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if the interval does not
+/// bracket a sign change, and [`NumericError::NoConvergence`] if the
+/// budget is exhausted.
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { lo, hi });
+    }
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut a, &mut b);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for iteration in 1..=options.max_iterations {
+        if fb.abs() <= options.f_tol {
+            return Ok(Root {
+                x: b,
+                residual: fb,
+                iterations: iteration - 1,
+            });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let cond_interval = {
+            let lo_q = (3.0 * a + b) / 4.0;
+            let (lo_q, hi_q) = if lo_q < b { (lo_q, b) } else { (b, lo_q) };
+            s < lo_q || s > hi_q
+        };
+        let cond_step = if mflag {
+            (s - b).abs() >= (b - c).abs() / 2.0
+        } else {
+            (s - b).abs() >= (c - d).abs() / 2.0
+        };
+        let cond_tol = if mflag {
+            (b - c).abs() < options.x_tol
+        } else {
+            (c - d).abs() < options.x_tol
+        };
+        if cond_interval || cond_step || cond_tol {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut a, &mut b);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+        if (b - a).abs() <= options.x_tol * b.abs().max(1.0) {
+            return Ok(Root {
+                x: b,
+                residual: fb,
+                iterations: iteration,
+            });
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fb.abs(),
+    })
+}
+
+/// Expands `[lo, hi]` geometrically until it brackets a sign change of `f`.
+///
+/// Returns the bracketing interval.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if no sign change is found
+/// within `max_expansions` doublings.
+pub fn expand_bracket(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    max_expansions: usize,
+) -> Result<(f64, f64)> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    for _ in 0..max_expansions {
+        if fa.signum() != fb.signum() {
+            return Ok((a, b));
+        }
+        // Expand away from the side with the larger magnitude.
+        if fa.abs() < fb.abs() {
+            a -= 1.6 * (b - a);
+            fa = f(a);
+        } else {
+            b += 1.6 * (b - a);
+            fb = f(b);
+        }
+    }
+    Err(NumericError::InvalidBracket { lo: a, hi: b })
+}
+
+/// Newton–Raphson with an automatic bisection fallback on a bracket.
+///
+/// The Newton iterate is accepted only while it stays inside the current
+/// bracket; otherwise the step falls back to bisection. This retains the
+/// quadratic convergence the paper reports (≤ 4 iterations) while being
+/// globally convergent on a valid bracket.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if `[lo, hi]` does not bracket
+/// a root, and [`NumericError::NoConvergence`] on budget exhaustion.
+pub fn newton_bracketed(
+    mut f: impl FnMut(f64) -> f64,
+    mut df: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    let (mut a, mut b) = (lo.min(hi), lo.max(hi));
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { lo: a, hi: b });
+    }
+
+    let mut x = 0.5 * (a + b);
+    for iteration in 1..=options.max_iterations {
+        let fx = f(x);
+        if fx.abs() <= options.f_tol {
+            return Ok(Root {
+                x,
+                residual: fx,
+                iterations: iteration,
+            });
+        }
+        // Maintain the bracket.
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+        }
+        let dfx = df(x);
+        let newton = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        let next = if newton.is_finite() && newton > a && newton < b {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+        if (next - x).abs() <= options.x_tol * x.abs().max(1.0) {
+            return Ok(Root {
+                x: next,
+                residual: f(next),
+                iterations: iteration,
+            });
+        }
+        x = next;
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f(x).abs(),
+    })
+}
+
+/// Result of a converged system Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRoot {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Infinity norm of the residual at `x`.
+    pub residual: f64,
+    /// Number of Newton iterations spent.
+    pub iterations: usize,
+}
+
+/// Damped Newton for a small nonlinear system `F(x) = 0`.
+///
+/// The caller supplies the residual `f(x, &mut out)` and Jacobian
+/// `jac(x, &mut out_matrix)` (row-major, dense). The step is damped by
+/// halving until the residual norm does not increase (simple Armijo-type
+/// backtracking), which is what lets the optimizer cross the
+/// critically-damped manifold where the residual is non-smooth.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] on budget exhaustion,
+/// [`NumericError::SingularMatrix`] if the Jacobian is singular, or
+/// [`NumericError::InvalidInput`] if residuals become non-finite.
+pub fn newton_system(
+    mut f: impl FnMut(&[f64], &mut [f64]),
+    mut jac: impl FnMut(&[f64], &mut crate::dense::Matrix),
+    x0: &[f64],
+    options: RootOptions,
+) -> Result<SystemRoot> {
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut residual = vec![0.0; n];
+    let mut jacobian = crate::dense::Matrix::zeros(n, n);
+    let inf_norm = |v: &[f64]| v.iter().fold(0.0f64, |m, &a| m.max(a.abs()));
+
+    f(&x, &mut residual);
+    let mut rnorm = inf_norm(&residual);
+    for iteration in 1..=options.max_iterations {
+        if !rnorm.is_finite() {
+            return Err(NumericError::InvalidInput(
+                "system residual became non-finite".to_string(),
+            ));
+        }
+        if rnorm <= options.f_tol {
+            return Ok(SystemRoot {
+                x,
+                residual: rnorm,
+                iterations: iteration - 1,
+            });
+        }
+        jac(&x, &mut jacobian);
+        let step = jacobian.lu()?.solve(&residual)?;
+
+        // Backtracking line search on the residual norm.
+        let mut lambda = 1.0f64;
+        let mut accepted = false;
+        let mut trial = vec![0.0; n];
+        let mut trial_res = vec![0.0; n];
+        for _ in 0..30 {
+            for i in 0..n {
+                trial[i] = x[i] - lambda * step[i];
+            }
+            f(&trial, &mut trial_res);
+            let tnorm = inf_norm(&trial_res);
+            if tnorm.is_finite() && tnorm < rnorm {
+                x.copy_from_slice(&trial);
+                residual.copy_from_slice(&trial_res);
+                let step_small =
+                    lambda * inf_norm(&step) <= options.x_tol * inf_norm(&x).max(1.0);
+                rnorm = tnorm;
+                accepted = true;
+                if step_small {
+                    return Ok(SystemRoot {
+                        x,
+                        residual: rnorm,
+                        iterations: iteration,
+                    });
+                }
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            return Err(NumericError::NoConvergence {
+                iterations: iteration,
+                residual: rnorm,
+            });
+        }
+    }
+    if rnorm <= options.f_tol.max(1e-9) {
+        return Ok(SystemRoot {
+            x,
+            residual: rnorm,
+            iterations: options.max_iterations,
+        });
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: rnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newton_converges_quadratically() {
+        let root = newton_raphson(|x| x * x - 2.0, |x| 2.0 * x, 1.5, RootOptions::default())
+            .unwrap();
+        assert!((root.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(root.iterations <= 6);
+    }
+
+    #[test]
+    fn newton_reports_vanishing_derivative() {
+        let err = newton_raphson(|x| x * x + 1.0, |x| 2.0 * x, 0.0, RootOptions::default());
+        assert!(matches!(err, Err(NumericError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn bisection_on_transcendental() {
+        let root = bisection(|x| x.cos() - x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((root.x - 0.7390851332151607).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_rejects_bad_bracket() {
+        let err = bisection(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default());
+        assert!(matches!(err, Err(NumericError::InvalidBracket { .. })));
+    }
+
+    #[test]
+    fn brent_on_transcendental() {
+        let root = brent(|x| x.cos() - x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((root.x - 0.7390851332151607).abs() < 1e-12);
+        assert!(root.iterations < 20);
+    }
+
+    #[test]
+    fn brent_handles_flat_regions() {
+        // f has a wide flat region; Brent must still converge.
+        let f = |x: f64| (x - 2.0).powi(3);
+        let root = brent(f, 0.0, 5.0, RootOptions::default()).unwrap();
+        assert!((root.x - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bracket_expansion_finds_sign_change() {
+        let (a, b) = expand_bracket(|x| x - 100.0, 0.0, 1.0, 60).unwrap();
+        assert!(a <= 100.0 && 100.0 <= b);
+        assert!(expand_bracket(|x| x * x + 1.0, 0.0, 1.0, 10).is_err());
+    }
+
+    #[test]
+    fn newton_bracketed_is_safe_and_fast() {
+        // An equation like the paper's Eq. (3): exponential crossing.
+        let f = |t: f64| 0.5 - (-t).exp();
+        let df = |t: f64| (-t).exp();
+        let root = newton_bracketed(f, df, 0.0, 10.0, RootOptions::default()).unwrap();
+        assert!((root.x - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(root.iterations <= 8);
+    }
+
+    #[test]
+    fn newton_bracketed_survives_bad_derivative() {
+        // Derivative lies wildly; bisection fallback must still converge.
+        let root =
+            newton_bracketed(|x| x - 3.0, |_| 1e-30, 0.0, 10.0, RootOptions::default()).unwrap();
+        assert!((root.x - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_newton_on_rosenbrock_gradient() {
+        // Roots of the gradient of Rosenbrock's function: (1, 1).
+        let f = |x: &[f64], out: &mut [f64]| {
+            out[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+            out[1] = 200.0 * (x[1] - x[0] * x[0]);
+        };
+        let jac = |x: &[f64], m: &mut crate::dense::Matrix| {
+            m[(0, 0)] = 2.0 - 400.0 * (x[1] - 3.0 * x[0] * x[0]);
+            m[(0, 1)] = -400.0 * x[0];
+            m[(1, 0)] = -400.0 * x[0];
+            m[(1, 1)] = 200.0;
+        };
+        let sol = newton_system(
+            f,
+            jac,
+            &[-0.5, 0.5],
+            RootOptions {
+                max_iterations: 200,
+                ..RootOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn system_newton_linear_system_in_one_step() {
+        let f = |x: &[f64], out: &mut [f64]| {
+            out[0] = 2.0 * x[0] + x[1] - 3.0;
+            out[1] = x[0] + 3.0 * x[1] - 5.0;
+        };
+        let jac = |_: &[f64], m: &mut crate::dense::Matrix| {
+            m[(0, 0)] = 2.0;
+            m[(0, 1)] = 1.0;
+            m[(1, 0)] = 1.0;
+            m[(1, 1)] = 3.0;
+        };
+        let sol = newton_system(f, jac, &[0.0, 0.0], RootOptions::default()).unwrap();
+        assert!(sol.iterations <= 2);
+        assert!((sol.x[0] - 0.8).abs() < 1e-12);
+        assert!((sol.x[1] - 1.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the numeric kernels.
+
+use proptest::prelude::*;
+
+use rlckit_numeric::complex::Complex;
+use rlckit_numeric::dense::Matrix;
+use rlckit_numeric::ilt::EulerInversion;
+use rlckit_numeric::poly::Polynomial;
+use rlckit_numeric::series::Series;
+use rlckit_numeric::sparse::TripletMatrix;
+
+fn well_conditioned_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = data[i * n + j];
+            }
+            // Diagonal dominance keeps the condition number tame.
+            m[(i, i)] += n as f64;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense LU: `A·solve(A, b) = b` for well-conditioned matrices.
+    #[test]
+    fn dense_lu_round_trip(
+        m in well_conditioned_matrix(6),
+        b in prop::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let x = m.solve(&b).expect("solvable");
+        let r = m.mul_vec(&x).expect("dims");
+        for i in 0..6 {
+            prop_assert!((r[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Sparse LU agrees with dense LU on the same matrix.
+    #[test]
+    fn sparse_matches_dense(
+        entries in prop::collection::vec((0usize..8, 0usize..8, -1.0f64..1.0), 1..40),
+        b in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let mut t = TripletMatrix::new(8);
+        let mut dense = Matrix::zeros(8, 8);
+        for &(i, j, v) in &entries {
+            t.push(i, j, v);
+            dense[(i, j)] += v;
+        }
+        for i in 0..8 {
+            t.push(i, i, 10.0);
+            dense[(i, i)] += 10.0;
+        }
+        let xs = t.to_csr().lu().expect("factor").solve(&b).expect("solve");
+        let xd = dense.solve(&b).expect("solve");
+        for i in 0..8 {
+            prop_assert!((xs[i] - xd[i]).abs() < 1e-9, "i={i}: {} vs {}", xs[i], xd[i]);
+        }
+    }
+
+    /// Complex field axioms hold numerically.
+    #[test]
+    fn complex_field_axioms(
+        a in (-10.0f64..10.0, -10.0f64..10.0),
+        b in (-10.0f64..10.0, -10.0f64..10.0),
+        c in (-10.0f64..10.0, -10.0f64..10.0),
+    ) {
+        let (a, b, c) = (
+            Complex::new(a.0, a.1),
+            Complex::new(b.0, b.1),
+            Complex::new(c.0, c.1),
+        );
+        // Distributivity.
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+        // Conjugation is multiplicative.
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+    }
+
+    /// `exp(a + b) = exp(a)·exp(b)` within range.
+    #[test]
+    fn complex_exp_is_a_homomorphism(
+        a in (-3.0f64..3.0, -3.0f64..3.0),
+        b in (-3.0f64..3.0, -3.0f64..3.0),
+    ) {
+        let (a, b) = (Complex::new(a.0, a.1), Complex::new(b.0, b.1));
+        let lhs = (a + b).exp();
+        let rhs = a.exp() * b.exp();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Series reciprocal is a two-sided inverse up to the truncation order.
+    #[test]
+    fn series_recip_round_trip(
+        coeffs in prop::collection::vec(-2.0f64..2.0, 5),
+        lead in 0.5f64..3.0,
+    ) {
+        let mut v = coeffs;
+        v[0] = lead; // nonzero constant term
+        let s = Series::from_coeffs(v);
+        let r = s.recip().expect("invertible");
+        let id = s.mul(&r);
+        prop_assert!((id.coeff(0) - 1.0).abs() < 1e-9);
+        for i in 1..=s.order() {
+            prop_assert!(id.coeff(i).abs() < 1e-7, "order {i}: {}", id.coeff(i));
+        }
+    }
+
+    /// Polynomial roots evaluate to ~zero, and there are degree-many.
+    #[test]
+    fn polynomial_roots_are_roots(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 3..7),
+        lead in prop::sample::select(vec![1.0f64, -1.0, 2.0]),
+    ) {
+        let mut v = coeffs;
+        let n = v.len();
+        v.push(lead);
+        let p = Polynomial::new(v);
+        prop_assume!(p.degree() == n);
+        let roots = p.roots().expect("roots");
+        prop_assert_eq!(roots.len(), n);
+        // Scale tolerance by the polynomial's coefficient magnitude at the root.
+        for z in roots {
+            let scale: f64 = p
+                .coeffs()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.abs() * z.abs().powi(i as i32))
+                .sum();
+            prop_assert!(p.eval_complex(z).abs() <= 1e-6 * scale.max(1.0), "residual at {z}");
+        }
+    }
+
+    /// The Euler inverse Laplace transform reproduces e^{-a t} across a
+    /// random decay-rate/time grid.
+    #[test]
+    fn euler_ilt_matches_exponential(a in 0.2f64..5.0, t in 0.1f64..4.0) {
+        let euler = EulerInversion::default();
+        let got = euler.invert(|s| (s + a).recip(), t).expect("invert");
+        let want = (-a * t).exp();
+        prop_assert!((got - want).abs() < 1e-6, "a={a}, t={t}: {got} vs {want}");
+    }
+
+    /// Damped cosine: an oscillatory transform with a closed form.
+    #[test]
+    fn euler_ilt_matches_damped_cosine(a in 0.1f64..2.0, w in 0.5f64..6.0, t in 0.1f64..3.0) {
+        let euler = EulerInversion::new(18);
+        let got = euler
+            .invert(|s| (s + a) / ((s + a) * (s + a) + w * w), t)
+            .expect("invert");
+        let want = (-a * t).exp() * (w * t).cos();
+        prop_assert!((got - want).abs() < 1e-5, "a={a}, w={w}, t={t}");
+    }
+}

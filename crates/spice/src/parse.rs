@@ -1,0 +1,521 @@
+//! A SPICE-deck netlist parser.
+//!
+//! Accepts the classic card format for the element set this simulator
+//! supports, so existing decks for driver–line–load experiments can be
+//! replayed directly:
+//!
+//! ```text
+//! * five-section line demo
+//! V1 in 0 PULSE(0 1.2 0 10p 10p 480p 1n)
+//! R1 in n1 14.3
+//! L1 n1 n2 2n
+//! C1 n2 0 137f
+//! M1 out in 0 0 NMOS W=528
+//! D1 0 out DCLAMP
+//! .END
+//! ```
+//!
+//! Supported cards: `R`, `C`, `L`, `V`, `I` (DC / `PULSE` / `SIN` /
+//! `PWL`), `M` (with `W=<size>` as the size multiplier; the model name
+//! selects N or P by its first letter), `D`, comments (`*`, `;`),
+//! `.END`, and SPICE engineering suffixes (`f p n u m k meg g t`,
+//! plus `mil`-free decimal exponents like `1e-12`). Node `0` (or `gnd`)
+//! is ground; all other node names are created on first use.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rlckit_tech::device::MosParams;
+use rlckit_tech::TechNode;
+
+use crate::netlist::{Circuit, ElementId, MosPolarity, Node};
+use crate::waveform::Waveform;
+
+/// Error produced while parsing a netlist, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetlistError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+/// A parsed netlist: the circuit plus name→handle maps.
+#[derive(Debug, Clone)]
+pub struct ParsedNetlist {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// Node handles by (lower-cased) name; ground is `"0"`.
+    pub nodes: HashMap<String, Node>,
+    /// Element handles by (lower-cased) designator, e.g. `"r1"`.
+    pub elements: HashMap<String, ElementId>,
+}
+
+impl ParsedNetlist {
+    /// Looks up a node by name (case-insensitive).
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<Node> {
+        self.nodes.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Looks up an element by designator (case-insensitive).
+    #[must_use]
+    pub fn element(&self, designator: &str) -> Option<ElementId> {
+        self.elements.get(&designator.to_ascii_lowercase()).copied()
+    }
+}
+
+/// Parses a value with SPICE engineering suffixes (`10k`, `1.5meg`,
+/// `137f`, `2n`, plain `1e-12`, …). Trailing unit letters after the
+/// suffix are ignored, as in SPICE (`10pF` == `10p`).
+///
+/// # Errors
+///
+/// Returns a message if no leading number can be parsed.
+pub fn parse_spice_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    let numeric_end = t
+        .char_indices()
+        .find(|(i, ch)| {
+            !(ch.is_ascii_digit()
+                || *ch == '.'
+                || *ch == '+'
+                || *ch == '-'
+                || *ch == 'e' && {
+                    // 'e' is part of the number only if followed by digit/sign.
+                    let rest = &t[i + 1..];
+                    rest.starts_with(|c: char| c.is_ascii_digit() || c == '+' || c == '-')
+                })
+        })
+        .map_or(t.len(), |(i, _)| i);
+    let (num, suffix) = t.split_at(numeric_end);
+    let base: f64 = num
+        .parse()
+        .map_err(|_| format!("cannot parse number from '{token}'"))?;
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            Some('a') => 1e-18,
+            // Unit letters with no scaling meaning (V, A, H, …).
+            Some(_) => 1.0,
+        }
+    };
+    Ok(base * scale)
+}
+
+/// Parses a netlist into a [`ParsedNetlist`]. MOSFET cards use
+/// `mos_params` as the minimum-size device (size is the `W=` factor).
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending line for malformed
+/// cards, unknown element types or bad values.
+pub fn parse_netlist(text: &str, mos_params: MosParams) -> Result<ParsedNetlist, ParseNetlistError> {
+    let mut circuit = Circuit::new();
+    let mut nodes: HashMap<String, Node> = HashMap::new();
+    nodes.insert("0".to_string(), Circuit::GROUND);
+    nodes.insert("gnd".to_string(), Circuit::GROUND);
+    let mut elements: HashMap<String, ElementId> = HashMap::new();
+
+    let err = |line: usize, message: String| ParseNetlistError { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with(';') {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with(".END") {
+            break;
+        }
+        if upper.starts_with('.') {
+            // Other dot-cards (.tran, .option, …) are tolerated and skipped:
+            // analyses are driven through the API.
+            continue;
+        }
+
+        // Tokenize, keeping parenthesized source specs together.
+        let tokens = tokenize(line);
+        if tokens.len() < 3 {
+            return Err(err(line_no, format!("too few fields in '{line}'")));
+        }
+        let designator = tokens[0].to_ascii_lowercase();
+        let kind = designator.chars().next().expect("nonempty");
+
+        let mut node_of = |name: &str| -> Node {
+            let key = name.to_ascii_lowercase();
+            *nodes
+                .entry(key.clone())
+                .or_insert_with(|| circuit.add_node(key))
+        };
+
+        let id = match kind {
+            'r' | 'c' | 'l' => {
+                if tokens.len() < 4 {
+                    return Err(err(line_no, format!("'{line}' needs 2 nodes and a value")));
+                }
+                let a = node_of(&tokens[1]);
+                let b = node_of(&tokens[2]);
+                let value = parse_spice_value(&tokens[3]).map_err(|m| err(line_no, m))?;
+                match kind {
+                    'r' => circuit.resistor(a, b, value),
+                    'c' => circuit.capacitor(a, b, value),
+                    _ => circuit.inductor(a, b, value),
+                }
+            }
+            'v' | 'i' => {
+                if tokens.len() < 4 {
+                    return Err(err(line_no, format!("'{line}' needs 2 nodes and a source spec")));
+                }
+                let a = node_of(&tokens[1]);
+                let b = node_of(&tokens[2]);
+                let waveform =
+                    parse_source(&tokens[3..]).map_err(|m| err(line_no, m))?;
+                if kind == 'v' {
+                    circuit.voltage_source(a, b, waveform)
+                } else {
+                    circuit.current_source(a, b, waveform)
+                }
+            }
+            'm' => {
+                // M<name> drain gate source [bulk] MODEL [W=size]
+                if tokens.len() < 5 {
+                    return Err(err(line_no, format!("'{line}' needs d g s nodes and a model")));
+                }
+                let drain = node_of(&tokens[1]);
+                let gate = node_of(&tokens[2]);
+                let source = node_of(&tokens[3]);
+                // Optional bulk node: detect by whether token 4 looks like a
+                // model name used with a following W=, or a node. SPICE decks
+                // always include bulk; accept both by checking if token 5
+                // exists and token 4 is not a model-looking name.
+                let (model_idx, _bulk_consumed) = if tokens.len() >= 6
+                    || (tokens.len() == 5 && !is_model_name(&tokens[4]))
+                {
+                    (5.min(tokens.len() - 1), true)
+                } else {
+                    (4, false)
+                };
+                let model = tokens
+                    .get(model_idx)
+                    .ok_or_else(|| err(line_no, format!("missing model name in '{line}'")))?;
+                let polarity = match model.to_ascii_uppercase().chars().next() {
+                    Some('N') => MosPolarity::Nmos,
+                    Some('P') => MosPolarity::Pmos,
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            format!("model '{model}' must start with N or P"),
+                        ))
+                    }
+                };
+                let mut size = 1.0;
+                for t in &tokens[model_idx + 1..] {
+                    let tl = t.to_ascii_lowercase();
+                    if let Some(v) = tl.strip_prefix("w=") {
+                        size = parse_spice_value(v).map_err(|m| err(line_no, m))?;
+                    }
+                }
+                circuit.mosfet(drain, gate, source, mos_params, size, polarity)
+            }
+            'd' => {
+                let anode = node_of(&tokens[1]);
+                let cathode = node_of(&tokens[2]);
+                let mut is = 1e-16;
+                let mut emission = 1.0;
+                for t in &tokens[3..] {
+                    let tl = t.to_ascii_lowercase();
+                    if let Some(v) = tl.strip_prefix("is=") {
+                        is = parse_spice_value(v).map_err(|m| err(line_no, m))?;
+                    } else if let Some(v) = tl.strip_prefix("n=") {
+                        emission = parse_spice_value(v).map_err(|m| err(line_no, m))?;
+                    }
+                }
+                circuit.diode(anode, cathode, is, emission)
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unsupported element type '{other}' in '{line}'"),
+                ))
+            }
+        };
+        if elements.insert(designator.clone(), id).is_some() {
+            return Err(err(line_no, format!("duplicate designator '{designator}'")));
+        }
+    }
+
+    Ok(ParsedNetlist {
+        circuit,
+        nodes,
+        elements,
+    })
+}
+
+/// Parses a netlist with device parameters taken from a technology node.
+///
+/// # Errors
+///
+/// See [`parse_netlist`].
+pub fn parse_netlist_for_node(
+    text: &str,
+    node: &TechNode,
+) -> Result<ParsedNetlist, ParseNetlistError> {
+    parse_netlist(text, MosParams::for_node(node))
+}
+
+fn is_model_name(token: &str) -> bool {
+    matches!(
+        token.to_ascii_uppercase().chars().next(),
+        Some('N') | Some('P')
+    ) && token.parse::<f64>().is_err()
+}
+
+/// Splits a card into tokens, keeping `NAME(...)` groups intact.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0usize;
+    for ch in line.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Parses a source specification: `DC <v>`, bare `<v>`,
+/// `PULSE(v1 v2 td tr tf pw per)`, `SIN(off amp freq [td])`,
+/// `PWL(t1 v1 t2 v2 …)`.
+fn parse_source(tokens: &[String]) -> Result<Waveform, String> {
+    let joined = tokens.join(" ");
+    let upper = joined.to_ascii_uppercase();
+    if let Some(args) = extract_args(&joined, "PULSE") {
+        let v = parse_values(&args)?;
+        if v.len() != 7 {
+            return Err(format!("PULSE needs 7 values, got {}", v.len()));
+        }
+        return Ok(Waveform::pulse(v[0], v[1], v[2], v[3], v[4], v[5], v[6]));
+    }
+    if let Some(args) = extract_args(&joined, "SIN") {
+        let v = parse_values(&args)?;
+        if v.len() < 3 {
+            return Err(format!("SIN needs at least 3 values, got {}", v.len()));
+        }
+        return Ok(Waveform::Sine {
+            offset: v[0],
+            amplitude: v[1],
+            frequency: v[2],
+            delay: v.get(3).copied().unwrap_or(0.0),
+        });
+    }
+    if let Some(args) = extract_args(&joined, "PWL") {
+        let v = parse_values(&args)?;
+        if v.len() % 2 != 0 || v.is_empty() {
+            return Err("PWL needs time/value pairs".to_string());
+        }
+        let points = v.chunks(2).map(|p| (p[0], p[1])).collect();
+        return Ok(Waveform::Pwl(points));
+    }
+    if upper.starts_with("DC") {
+        let rest = joined[2..].trim();
+        return Ok(Waveform::Dc(parse_spice_value(rest)?));
+    }
+    // Bare value.
+    Ok(Waveform::Dc(parse_spice_value(&joined)?))
+}
+
+fn extract_args(text: &str, keyword: &str) -> Option<String> {
+    let upper = text.to_ascii_uppercase();
+    let start = upper.find(&format!("{keyword}("))?;
+    let open = start + keyword.len();
+    let close = text.rfind(')')?;
+    Some(text[open + 1..close].to_string())
+}
+
+fn parse_values(args: &str) -> Result<Vec<f64>, String> {
+    args.split([' ', ','])
+        .filter(|s| !s.is_empty())
+        .map(parse_spice_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Element;
+
+    fn params() -> MosParams {
+        MosParams::for_node(&TechNode::nm100())
+    }
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_spice_value("10k").unwrap(), 10e3);
+        assert_eq!(parse_spice_value("1.5meg").unwrap(), 1.5e6);
+        assert!((parse_spice_value("137f").unwrap() - 137e-15).abs() < 1e-27);
+        assert_eq!(parse_spice_value("2n").unwrap(), 2e-9);
+        assert_eq!(parse_spice_value("10pF").unwrap(), 10e-12);
+        assert_eq!(parse_spice_value("1e-12").unwrap(), 1e-12);
+        assert_eq!(parse_spice_value("-3.3").unwrap(), -3.3);
+        assert_eq!(parse_spice_value("5").unwrap(), 5.0);
+        assert!(parse_spice_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_rc_divider() {
+        let deck = "\
+* divider
+V1 in 0 DC 2.0
+R1 in out 1k
+R2 out 0 1k
+.END
+";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        assert_eq!(parsed.circuit.elements().len(), 3);
+        let out = parsed.node("out").unwrap();
+        let op = crate::dc::operating_point(&parsed.circuit).unwrap();
+        assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_pulse_source_and_suffix_units() {
+        let deck = "V1 clk 0 PULSE(0 1.2 0 10p 10p 480p 1n)\nR1 clk 0 50\n";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        match parsed.circuit.element(parsed.element("v1").unwrap()) {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(waveform.value(0.25e-9), 1.2);
+                assert_eq!(waveform.value(0.9e-9), 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mosfets_with_bulk_and_width() {
+        let deck = "\
+VDD vdd 0 1.2
+VIN in 0 0.6
+M1 out in 0 0 NMOS W=528
+M2 out in vdd vdd PMOS W=528
+R1 out 0 1meg
+";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        let m1 = parsed.element("m1").unwrap();
+        match parsed.circuit.element(m1) {
+            Element::Mosfet { size, polarity, .. } => {
+                assert_eq!(*size, 528.0);
+                assert_eq!(*polarity, crate::netlist::MosPolarity::Nmos);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And it simulates: mid-rail input gives mid-rail-ish output.
+        let op = crate::dc::operating_point(&parsed.circuit).unwrap();
+        let v = op.voltage(parsed.node("out").unwrap());
+        assert!(v > 0.2 && v < 1.0, "v_out = {v}");
+    }
+
+    #[test]
+    fn parses_diode_parameters() {
+        let deck = "D1 a 0 IS=2e-15 N=1.5\nR1 a 0 1k\n";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        match parsed.circuit.element(parsed.element("d1").unwrap()) {
+            Element::Diode {
+                saturation_current,
+                emission,
+                ..
+            } => {
+                assert_eq!(*saturation_current, 2e-15);
+                assert_eq!(*emission, 1.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sin_and_pwl_sources() {
+        let deck = "V1 a 0 SIN(0 1 1g)\nI1 0 b PWL(0 0 1n 1m)\nR1 a 0 50\nR2 b 0 50\n";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        match parsed.circuit.element(parsed.element("v1").unwrap()) {
+            Element::VoltageSource { waveform, .. } => {
+                // Quarter period of 1 GHz.
+                assert!((waveform.value(0.25e-9) - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parsed.circuit.element(parsed.element("i1").unwrap()) {
+            Element::CurrentSource { waveform, .. } => {
+                assert!((waveform.value(0.5e-9) - 0.5e-3).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let deck = "R1 a 0 1k\nQ1 a b c\n";
+        let e = parse_netlist(deck, params()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(format!("{e}").contains("unsupported element type 'q'"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_short_cards() {
+        let deck = "R1 a 0 1k\nR1 b 0 2k\n";
+        let e = parse_netlist(deck, params()).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_netlist("R1 a\n", params()).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn comments_and_dot_cards_are_skipped() {
+        let deck = "* header\n; another comment\n.option whatever\nR1 a 0 1k\n.end\nR2 never 0 1\n";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        assert_eq!(parsed.circuit.elements().len(), 1);
+        assert!(parsed.node("never").is_none());
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let deck = "R1 a GND 1k\nV1 a 0 1\n";
+        let parsed = parse_netlist(deck, params()).unwrap();
+        let op = crate::dc::operating_point(&parsed.circuit).unwrap();
+        assert!((op.voltage(parsed.node("a").unwrap()) - 1.0).abs() < 1e-9);
+    }
+}

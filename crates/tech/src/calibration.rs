@@ -1,0 +1,179 @@
+//! Driver calibration: recovering `r_s`, `c_0`, `c_p` from an RC-optimum.
+//!
+//! The paper (§3.1) notes that `r_s`, `c_p`, `c_0` "cannot be easily
+//! determined" directly, so it measures the Elmore-optimal repeater
+//! insertion (`h_optRC`, `k_optRC`, `τ_optRC`) with SPICE and inverts the
+//! closed-form optimum conditions:
+//!
+//! ```text
+//! h_optRC = √(2·r_s·(c₀+c_p)/(r·c))       k_optRC = √(r_s·c/(r·c₀))
+//! τ_optRC = 2·r_s·(c₀+c_p)·(1 + √(2c₀/(c₀+c_p)))
+//! ```
+//!
+//! Defining `g = τ/(h²·r·c) − 1 = √(2c₀/(c₀+c_p))`, the inversion is
+//! closed-form:
+//!
+//! ```text
+//! c₀  = g·h·c / (2k)
+//! r_s = k·r·g·h / 2
+//! c_p = c₀·(2/g² − 1)
+//! ```
+
+use rlckit_units::{FaradsPerMeter, Meters, OhmsPerMeter, Seconds};
+
+use crate::node::DriverParams;
+use core::fmt;
+
+/// Error returned when an RC-optimum triple is inconsistent with the
+/// Elmore optimum conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrateDriverError {
+    g: f64,
+}
+
+impl fmt::Display for CalibrateDriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent rc optimum: g = τ/(h²rc) − 1 = {:.4} outside (0, √2)",
+            self.g
+        )
+    }
+}
+
+impl std::error::Error for CalibrateDriverError {}
+
+/// Recovers the minimum-sized-driver parameters from a measured Elmore
+/// optimum.
+///
+/// # Errors
+///
+/// Returns [`CalibrateDriverError`] if `g = τ/(h²rc) − 1` falls outside
+/// `(0, √2)`: `g ≤ 0` means the measured delay is less than the pure-wire
+/// floor, `g ≥ √2` would require a negative parasitic capacitance.
+///
+/// # Examples
+///
+/// Round-tripping the paper's 250 nm row of Table 1:
+///
+/// ```
+/// use rlckit_tech::calibration::calibrate_driver;
+/// use rlckit_units::{FaradsPerMeter, Meters, OhmsPerMeter, Seconds};
+///
+/// # fn main() -> Result<(), rlckit_tech::calibration::CalibrateDriverError> {
+/// let driver = calibrate_driver(
+///     OhmsPerMeter::from_ohm_per_milli(4.4),
+///     FaradsPerMeter::from_pico(203.50),
+///     Meters::from_milli(14.4),
+///     578.0,
+///     Seconds::from_pico(305.17),
+/// )?;
+/// assert!((driver.output_resistance.get() - 11_784.0).abs() < 20.0);
+/// assert!((driver.input_capacitance.get() - 1.6314e-15).abs() < 5e-18);
+/// assert!((driver.parasitic_capacitance.get() - 6.2474e-15).abs() < 2e-17);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate_driver(
+    r: OhmsPerMeter,
+    c: FaradsPerMeter,
+    h_opt: Meters,
+    k_opt: f64,
+    tau_opt: Seconds,
+) -> Result<DriverParams, CalibrateDriverError> {
+    let h = h_opt.get();
+    let wire_delay = h * h * r.get() * c.get();
+    let g = tau_opt.get() / wire_delay - 1.0;
+    if !(g > 0.0 && g < core::f64::consts::SQRT_2) {
+        return Err(CalibrateDriverError { g });
+    }
+    let c0 = g * h * c.get() / (2.0 * k_opt);
+    let rs = k_opt * r.get() * g * h / 2.0;
+    let cp = c0 * (2.0 / (g * g) - 1.0);
+    Ok(DriverParams::new(
+        rlckit_units::Ohms::new(rs),
+        rlckit_units::Farads::new(cp),
+        rlckit_units::Farads::new(c0),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TechNode;
+
+    #[test]
+    fn calibrates_250nm_row_of_table1() {
+        let d = calibrate_driver(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            FaradsPerMeter::from_pico(203.50),
+            Meters::from_milli(14.4),
+            578.0,
+            Seconds::from_pico(305.17),
+        )
+        .unwrap();
+        let want = TechNode::nm250().driver();
+        assert!((d.output_resistance / want.output_resistance - 1.0).abs() < 2e-3);
+        assert!((d.input_capacitance / want.input_capacitance - 1.0).abs() < 2e-3);
+        assert!((d.parasitic_capacitance / want.parasitic_capacitance - 1.0).abs() < 3e-3);
+    }
+
+    #[test]
+    fn calibrates_100nm_row_of_table1() {
+        let d = calibrate_driver(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            FaradsPerMeter::from_pico(123.33),
+            Meters::from_milli(11.1),
+            528.0,
+            Seconds::from_pico(105.94),
+        )
+        .unwrap();
+        let want = TechNode::nm100().driver();
+        assert!((d.output_resistance / want.output_resistance - 1.0).abs() < 5e-3);
+        assert!((d.input_capacitance / want.input_capacitance - 1.0).abs() < 5e-3);
+        assert!((d.parasitic_capacitance / want.parasitic_capacitance - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn forward_backward_round_trip() {
+        // Start from arbitrary driver parameters, compute the RC optimum
+        // with the closed forms, and calibrate back.
+        let r = OhmsPerMeter::from_ohm_per_milli(6.0);
+        let c = FaradsPerMeter::from_pico(150.0);
+        let (rs, c0, cp) = (9000.0, 1.1e-15, 4.0e-15);
+        let h = (2.0 * rs * (c0 + cp) / (r.get() * c.get())).sqrt();
+        let k = (rs * c.get() / (r.get() * c0)).sqrt();
+        let tau = 2.0 * rs * (c0 + cp) * (1.0 + (2.0 * c0 / (c0 + cp)).sqrt());
+        let d = calibrate_driver(r, c, Meters::new(h), k, Seconds::new(tau)).unwrap();
+        assert!((d.output_resistance.get() - rs).abs() / rs < 1e-12);
+        assert!((d.input_capacitance.get() - c0).abs() / c0 < 1e-12);
+        assert!((d.parasitic_capacitance.get() - cp).abs() / cp < 1e-10);
+    }
+
+    #[test]
+    fn rejects_delay_below_wire_floor() {
+        // τ so small that g ≤ 0.
+        let err = calibrate_driver(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            FaradsPerMeter::from_pico(203.50),
+            Meters::from_milli(14.4),
+            578.0,
+            Seconds::from_pico(100.0),
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("inconsistent"));
+    }
+
+    #[test]
+    fn rejects_delay_requiring_negative_cp() {
+        // τ so large that g ≥ √2.
+        let err = calibrate_driver(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            FaradsPerMeter::from_pico(203.50),
+            Meters::from_milli(14.4),
+            578.0,
+            Seconds::from_pico(460.0),
+        );
+        assert!(err.is_err());
+    }
+}

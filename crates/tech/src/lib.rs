@@ -1,0 +1,36 @@
+//! NTRS-derived technology library for the `rlckit` workspace.
+//!
+//! Encodes the paper's Table 1 — the 250 nm and 100 nm technology nodes
+//! with their top-level-metal interconnect parameters and the calibrated
+//! minimum-sized-repeater parameters `r_s`, `c_0`, `c_p` — plus:
+//!
+//! * [`calibration`] — the closed-form inversion of the RC-optimum
+//!   formulas that the paper uses (§3.1) to recover `r_s`, `c_0`, `c_p`
+//!   from a simulated `(h_optRC, k_optRC, τ_optRC)` triple.
+//! * [`device`] — level-1 MOSFET parameters derived from the linearized
+//!   driver model, used by the circuit-simulator substrate so that a
+//!   `k`-sized inverter reproduces `r_s/k`, `c_p·k` and `c_0·k`.
+//! * [`scaling`] — constant-field scaling helpers for exploring
+//!   hypothetical nodes beyond the two the paper evaluates.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlckit_tech::TechNode;
+//!
+//! let node = TechNode::nm100();
+//! assert_eq!(node.name(), "100nm");
+//! // Table 1: 4.4 Ω/mm and 123.33 pF/m on metal 8.
+//! assert!((node.line().resistance.to_ohm_per_milli() - 4.4).abs() < 1e-12);
+//! assert!((node.line().capacitance.to_pico() - 123.33).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod device;
+pub mod node;
+pub mod scaling;
+
+pub use node::{DriverParams, LineParams, TechNode};

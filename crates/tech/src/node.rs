@@ -1,0 +1,346 @@
+//! Technology-node definitions (the paper's Table 1).
+
+use rlckit_extract::geometry::WireGeometry;
+use rlckit_units::{Farads, FaradsPerMeter, HenriesPerMeter, Meters, Ohms, OhmsPerMeter, Volts};
+
+/// Per-unit-length electrical parameters of a routed line.
+///
+/// The inductance is *not* part of this struct: the paper treats `l` as a
+/// swept, pattern-dependent parameter bounded by
+/// [`LineParams::worst_case_inductance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineParams {
+    /// Resistance per unit length.
+    pub resistance: OhmsPerMeter,
+    /// Capacitance per unit length.
+    pub capacitance: FaradsPerMeter,
+}
+
+impl LineParams {
+    /// Creates line parameters from per-unit-length resistance and
+    /// capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    #[must_use]
+    pub fn new(resistance: OhmsPerMeter, capacitance: FaradsPerMeter) -> Self {
+        assert!(resistance.get() > 0.0, "resistance must be positive");
+        assert!(capacitance.get() > 0.0, "capacitance must be positive");
+        Self {
+            resistance,
+            capacitance,
+        }
+    }
+
+    /// The paper's worst-case line inductance bound (§3.1): both nodes'
+    /// top metal stays below 5 nH/mm for all practical return paths.
+    #[must_use]
+    pub fn worst_case_inductance(&self) -> HenriesPerMeter {
+        HenriesPerMeter::from_nano_per_milli(5.0)
+    }
+}
+
+/// Linearized electrical model of a minimum-sized repeater: output
+/// resistance `r_s`, output parasitic capacitance `c_p` and input
+/// capacitance `c_0` (paper §2.1).
+///
+/// A repeater of size `k` has `R_S = r_s/k`, `C_P = c_p·k`, `C_L = c_0·k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverParams {
+    /// Output resistance of the minimum-sized repeater.
+    pub output_resistance: Ohms,
+    /// Output parasitic capacitance of the minimum-sized repeater.
+    pub parasitic_capacitance: Farads,
+    /// Input capacitance of the minimum-sized repeater.
+    pub input_capacitance: Farads,
+}
+
+impl DriverParams {
+    /// Creates driver parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance or input capacitance is not strictly
+    /// positive, or the parasitic capacitance is negative.
+    #[must_use]
+    pub fn new(
+        output_resistance: Ohms,
+        parasitic_capacitance: Farads,
+        input_capacitance: Farads,
+    ) -> Self {
+        assert!(
+            output_resistance.get() > 0.0,
+            "output resistance must be positive"
+        );
+        assert!(
+            parasitic_capacitance.get() >= 0.0,
+            "parasitic capacitance must be non-negative"
+        );
+        assert!(
+            input_capacitance.get() > 0.0,
+            "input capacitance must be positive"
+        );
+        Self {
+            output_resistance,
+            parasitic_capacitance,
+            input_capacitance,
+        }
+    }
+
+    /// Output resistance of a `size`-times-minimum repeater (`r_s/k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not strictly positive.
+    #[must_use]
+    pub fn sized_output_resistance(&self, size: f64) -> Ohms {
+        assert!(size > 0.0, "repeater size must be positive");
+        self.output_resistance / size
+    }
+
+    /// Output parasitic capacitance of a `size`-times-minimum repeater
+    /// (`c_p·k`).
+    #[must_use]
+    pub fn sized_parasitic_capacitance(&self, size: f64) -> Farads {
+        self.parasitic_capacitance * size
+    }
+
+    /// Input capacitance of a `size`-times-minimum repeater (`c_0·k`).
+    #[must_use]
+    pub fn sized_input_capacitance(&self, size: f64) -> Farads {
+        self.input_capacitance * size
+    }
+
+    /// Intrinsic delay scale `r_s·(c_0 + c_p)` of the technology — the
+    /// quantity whose shrink with scaling the paper identifies as the root
+    /// cause of growing inductance susceptibility.
+    #[must_use]
+    pub fn intrinsic_delay(&self) -> rlckit_units::Seconds {
+        self.output_resistance * (self.input_capacitance + self.parasitic_capacitance)
+    }
+}
+
+/// A technology node: interconnect stack plus the calibrated driver.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_tech::TechNode;
+///
+/// let node = TechNode::nm250();
+/// // r_s·(c₀+c_p) shrinks by >3× from 250 nm to 100 nm — the scaling
+/// // argument at the heart of the paper.
+/// let ratio = node.driver().intrinsic_delay()
+///     / TechNode::nm100().driver().intrinsic_delay();
+/// assert!(ratio > 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    name: String,
+    metal_layer: String,
+    line: LineParams,
+    driver: DriverParams,
+    wire: WireGeometry,
+    relative_permittivity: f64,
+    supply_voltage: Volts,
+}
+
+impl TechNode {
+    /// The 250 nm node of Table 1 (metal 6, copper, NTRS 1997).
+    #[must_use]
+    pub fn nm250() -> Self {
+        Self {
+            name: "250nm".to_string(),
+            metal_layer: "M6".to_string(),
+            line: LineParams::new(
+                OhmsPerMeter::from_ohm_per_milli(4.4),
+                FaradsPerMeter::from_pico(203.50),
+            ),
+            driver: DriverParams::new(
+                Ohms::from_kilo(11.784),
+                Farads::from_femto(6.2474),
+                Farads::from_femto(1.6314),
+            ),
+            wire: WireGeometry::new(
+                Meters::from_micro(2.0),
+                Meters::from_micro(2.5),
+                Meters::from_micro(2.0),
+                Meters::from_micro(13.9),
+            ),
+            relative_permittivity: 3.3,
+            supply_voltage: Volts::new(2.5),
+        }
+    }
+
+    /// The 100 nm node of Table 1 (metal 8, copper, NTRS 1997).
+    #[must_use]
+    pub fn nm100() -> Self {
+        Self {
+            name: "100nm".to_string(),
+            metal_layer: "M8".to_string(),
+            line: LineParams::new(
+                OhmsPerMeter::from_ohm_per_milli(4.4),
+                FaradsPerMeter::from_pico(123.33),
+            ),
+            driver: DriverParams::new(
+                Ohms::from_kilo(7.534),
+                Farads::from_femto(3.68),
+                Farads::from_femto(0.758),
+            ),
+            wire: WireGeometry::new(
+                Meters::from_micro(2.0),
+                Meters::from_micro(2.5),
+                Meters::from_micro(2.0),
+                Meters::from_micro(15.4),
+            ),
+            relative_permittivity: 2.0,
+            supply_voltage: Volts::new(1.2),
+        }
+    }
+
+    /// The 100 nm node with the 250 nm node's dielectric, so that `c` is
+    /// identical across nodes — the control experiment of Fig. 7 that
+    /// isolates driver scaling as the cause of inductance susceptibility.
+    #[must_use]
+    pub fn nm100_with_250nm_dielectric() -> Self {
+        let mut node = Self::nm100();
+        node.name = "100nm(εr=3.3)".to_string();
+        node.relative_permittivity = 3.3;
+        node.line = LineParams::new(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            FaradsPerMeter::from_pico(203.50),
+        );
+        node
+    }
+
+    /// Both Table 1 nodes, in the paper's order.
+    #[must_use]
+    pub fn table1() -> Vec<Self> {
+        vec![Self::nm250(), Self::nm100()]
+    }
+
+    /// Creates a custom node (e.g. from [`crate::scaling`] or user data).
+    #[must_use]
+    pub fn custom(
+        name: impl Into<String>,
+        metal_layer: impl Into<String>,
+        line: LineParams,
+        driver: DriverParams,
+        wire: WireGeometry,
+        relative_permittivity: f64,
+        supply_voltage: Volts,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            metal_layer: metal_layer.into(),
+            line,
+            driver,
+            wire,
+            relative_permittivity,
+            supply_voltage,
+        }
+    }
+
+    /// Node name (e.g. `"250nm"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Top-level metal layer name (e.g. `"M6"`).
+    #[must_use]
+    pub fn metal_layer(&self) -> &str {
+        &self.metal_layer
+    }
+
+    /// Per-unit-length line parameters of the top-level metal.
+    #[must_use]
+    pub fn line(&self) -> LineParams {
+        self.line
+    }
+
+    /// Calibrated minimum-sized-repeater parameters.
+    #[must_use]
+    pub fn driver(&self) -> DriverParams {
+        self.driver
+    }
+
+    /// Top-level-metal wire cross-section geometry.
+    #[must_use]
+    pub fn wire(&self) -> WireGeometry {
+        self.wire
+    }
+
+    /// Interlevel-dielectric relative permittivity.
+    #[must_use]
+    pub fn relative_permittivity(&self) -> f64 {
+        self.relative_permittivity
+    }
+
+    /// Supply voltage (NTRS 1997 targets: 2.5 V at 250 nm, 1.2 V at
+    /// 100 nm).
+    #[must_use]
+    pub fn supply_voltage(&self) -> Volts {
+        self.supply_voltage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_round_trip() {
+        let n = TechNode::nm250();
+        assert_eq!(n.metal_layer(), "M6");
+        assert!((n.driver().output_resistance.get() - 11784.0).abs() < 1e-6);
+        assert!((n.driver().input_capacitance.get() - 1.6314e-15).abs() < 1e-21);
+        assert!((n.driver().parasitic_capacitance.get() - 6.2474e-15).abs() < 1e-21);
+        assert!((n.supply_voltage().get() - 2.5).abs() < 1e-12);
+
+        let n = TechNode::nm100();
+        assert_eq!(n.metal_layer(), "M8");
+        assert!((n.driver().output_resistance.get() - 7534.0).abs() < 1e-6);
+        assert!((n.relative_permittivity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sized_driver_parameters_scale_correctly() {
+        let d = TechNode::nm250().driver();
+        let k = 578.0;
+        assert!((d.sized_output_resistance(k).get() - 11784.0 / k).abs() < 1e-9);
+        assert!((d.sized_input_capacitance(k).get() - 1.6314e-15 * k).abs() < 1e-24);
+        assert!((d.sized_parasitic_capacitance(k).get() - 6.2474e-15 * k).abs() < 1e-24);
+    }
+
+    #[test]
+    fn intrinsic_delay_shrinks_with_scaling() {
+        let d250 = TechNode::nm250().driver().intrinsic_delay();
+        let d100 = TechNode::nm100().driver().intrinsic_delay();
+        // 11.784kΩ·7.8788fF ≈ 92.9 ps vs 7.534kΩ·4.438fF ≈ 33.4 ps.
+        assert!((d250.get() - 92.85e-12).abs() < 0.2e-12);
+        assert!((d100.get() - 33.43e-12).abs() < 0.2e-12);
+    }
+
+    #[test]
+    fn identical_c_variant_only_changes_dielectric() {
+        let base = TechNode::nm100();
+        let ctrl = TechNode::nm100_with_250nm_dielectric();
+        assert_eq!(ctrl.driver(), base.driver());
+        assert_eq!(ctrl.supply_voltage(), base.supply_voltage());
+        assert!((ctrl.line().capacitance.to_pico() - 203.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_inductance_is_five_nh_per_mm() {
+        let n = TechNode::nm250();
+        assert!((n.line().worst_case_inductance().to_nano_per_milli() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = LineParams::new(OhmsPerMeter::ZERO, FaradsPerMeter::from_pico(100.0));
+    }
+}

@@ -1,0 +1,430 @@
+//! The driver–interconnect–load (DIL) structure of the paper's Fig. 1.
+//!
+//! A repeater with series output resistance `R_S` and output parasitic
+//! `C_P` drives a uniform distributed RLC line of length `h` terminated
+//! by the next repeater's input capacitance `C_L`. This module provides:
+//!
+//! * the **exact** transfer function (Eq. 1) evaluated at any complex
+//!   frequency,
+//! * the Maclaurin **moments** `b₁ … b_N` of the denominator — both the
+//!   paper's hand-derived closed forms for `b₁`, `b₂` and an automatic
+//!   truncated-series expansion for any order (they must agree, and a
+//!   test enforces it),
+//! * the **critical inductance** `l_crit` (Eq. 4),
+//! * the second-order reduction handed to [`crate::twopole::TwoPole`].
+
+use rlckit_numeric::series::Series;
+use rlckit_numeric::Complex;
+use rlckit_units::{Farads, HenriesPerMeter, Meters, Ohms, Seconds};
+
+use crate::abcd::Abcd;
+use crate::line::LineRlc;
+use crate::twopole::TwoPole;
+
+/// A driver–interconnect–load configuration (paper Fig. 1).
+///
+/// All stored values are the *sized* totals: for a repeater of size `k`
+/// in technology terms, `R_S = r_s/k`, `C_P = c_p·k`, `C_L = c_0·k`.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_tline::{dil::DriverInterconnectLoad, line::LineRlc};
+/// use rlckit_units::*;
+///
+/// let line = LineRlc::new(
+///     OhmsPerMeter::from_ohm_per_milli(4.4),
+///     HenriesPerMeter::from_nano_per_milli(0.5),
+///     FaradsPerMeter::from_pico(203.5),
+/// );
+/// let dil = DriverInterconnectLoad::new(
+///     Ohms::new(20.0),
+///     Farads::from_femto(3600.0),
+///     line,
+///     Meters::from_milli(14.4),
+///     Farads::from_femto(940.0),
+/// );
+/// // The Elmore delay is the first moment b₁.
+/// assert!(dil.elmore_delay().get() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverInterconnectLoad {
+    /// Driver series resistance `R_S` (Ω).
+    rs: f64,
+    /// Driver output parasitic `C_P` (F).
+    cp: f64,
+    /// Line parameters.
+    line: LineRlc,
+    /// Segment length `h` (m).
+    h: f64,
+    /// Load capacitance `C_L` (F).
+    cl: f64,
+}
+
+impl DriverInterconnectLoad {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `R_S`, `h` or `C_L` is not strictly positive, or `C_P`
+    /// is negative.
+    #[must_use]
+    pub fn new(
+        driver_resistance: Ohms,
+        driver_parasitic: Farads,
+        line: LineRlc,
+        length: Meters,
+        load_capacitance: Farads,
+    ) -> Self {
+        assert!(
+            driver_resistance.get() > 0.0,
+            "driver resistance must be positive"
+        );
+        assert!(
+            driver_parasitic.get() >= 0.0,
+            "driver parasitic must be non-negative"
+        );
+        assert!(length.get() > 0.0, "length must be positive");
+        assert!(
+            load_capacitance.get() > 0.0,
+            "load capacitance must be positive"
+        );
+        Self {
+            rs: driver_resistance.get(),
+            cp: driver_parasitic.get(),
+            line,
+            h: length.get(),
+            cl: load_capacitance.get(),
+        }
+    }
+
+    /// Driver series resistance `R_S`.
+    #[must_use]
+    pub fn driver_resistance(&self) -> Ohms {
+        Ohms::new(self.rs)
+    }
+
+    /// Driver output parasitic `C_P`.
+    #[must_use]
+    pub fn driver_parasitic(&self) -> Farads {
+        Farads::new(self.cp)
+    }
+
+    /// Line parameters.
+    #[must_use]
+    pub fn line(&self) -> LineRlc {
+        self.line
+    }
+
+    /// Segment length `h`.
+    #[must_use]
+    pub fn length(&self) -> Meters {
+        Meters::new(self.h)
+    }
+
+    /// Load capacitance `C_L`.
+    #[must_use]
+    pub fn load_capacitance(&self) -> Farads {
+        Farads::new(self.cl)
+    }
+
+    /// Exact denominator of Eq. 1 at complex frequency `s`:
+    /// `[1 + sR_S(C_P+C_L)]·cosh θh + [R_S/Z₀ + sC_L Z₀ + s²R_S C_P C_L Z₀]·sinh θh`.
+    #[must_use]
+    pub fn denominator(&self, s: Complex) -> Complex {
+        let line_two_port = Abcd::rlc_line(&self.line, Meters::new(self.h), s);
+        let chain = Abcd::series_impedance(Complex::from_real(self.rs))
+            .cascade(&Abcd::shunt_admittance(s * self.cp))
+            .cascade(&line_two_port)
+            .cascade(&Abcd::shunt_admittance(s * self.cl));
+        chain.a
+    }
+
+    /// Exact transfer function `H(s) = V_o/V_i` of Eq. 1.
+    ///
+    /// Far into the right half-plane `cosh(θh)` overflows `f64`; there
+    /// `|H| < 1e−130`, so the overflowed denominator is mapped to
+    /// `H = 0`, keeping the numerical inverse-Laplace oracle well-defined
+    /// at very small times.
+    #[must_use]
+    pub fn transfer_function(&self, s: Complex) -> Complex {
+        let d = self.denominator(s);
+        if d.is_finite() {
+            d.recip()
+        } else {
+            Complex::ZERO
+        }
+    }
+
+    /// Laplace-domain step response `V_o(s) = H(s)/s` (for the inverse-
+    /// Laplace oracle in [`crate::exact`]).
+    #[must_use]
+    pub fn step_transform(&self, s: Complex) -> Complex {
+        let h = self.transfer_function(s);
+        if h == Complex::ZERO {
+            Complex::ZERO
+        } else {
+            h / s
+        }
+    }
+
+    /// Maclaurin moments of the exact denominator: returns
+    /// `[b₀ = 1, b₁, …, b_order]` by truncated-series expansion.
+    ///
+    /// For any truncation order this agrees with the paper's closed-form
+    /// `b₁`, `b₂` ([`Self::b1`], [`Self::b2`]); orders ≥ 3 feed the
+    /// higher-order reduced models in [`crate::awe`].
+    #[must_use]
+    pub fn moments(&self, order: usize) -> Vec<f64> {
+        let (r, l, c) = (
+            self.line.resistance().get(),
+            self.line.inductance().get(),
+            self.line.capacitance().get(),
+        );
+        let h = self.h;
+        let n = order.max(2);
+
+        // P(s) = (θh)² = s·rch² + s²·lch²
+        let mut p_coeffs = vec![0.0; n + 1];
+        p_coeffs[1] = r * c * h * h;
+        p_coeffs[2] = l * c * h * h;
+        let p = Series::from_coeffs(p_coeffs);
+
+        let factorial = |k: usize| -> f64 { (1..=k).map(|i| i as f64).product() };
+        let cosh = p
+            .compose_entire(|m| 1.0 / factorial(2 * m))
+            .expect("P has zero constant term");
+        let sinhc = p
+            .compose_entire(|m| 1.0 / factorial(2 * m + 1))
+            .expect("P has zero constant term");
+
+        // [1 + s·R_S(C_P + C_L)]·cosh
+        let mut a_coeffs = vec![0.0; n + 1];
+        a_coeffs[0] = 1.0;
+        a_coeffs[1] = self.rs * (self.cp + self.cl);
+        let term_a = Series::from_coeffs(a_coeffs).mul(&cosh);
+
+        // [s·R_S·c·h + (s·C_L + s²·R_S·C_P·C_L)·(r + s·l)·h]·sinhc
+        let mut b_coeffs = vec![0.0; n + 1];
+        b_coeffs[1] = self.rs * c * h + self.cl * r * h;
+        if n >= 2 {
+            b_coeffs[2] = self.cl * l * h + self.rs * self.cp * self.cl * r * h;
+        }
+        if n >= 3 {
+            b_coeffs[3] = self.rs * self.cp * self.cl * l * h;
+        }
+        let term_b = Series::from_coeffs(b_coeffs).mul(&sinhc);
+
+        let denominator = term_a.add(&term_b);
+        denominator.coeffs()[..=order].to_vec()
+    }
+
+    /// The paper's closed-form first moment (Eq. 2):
+    /// `b₁ = R_S(C_P+C_L) + rch²/2 + R_S·c·h + C_L·r·h`.
+    #[must_use]
+    pub fn b1(&self) -> f64 {
+        let (r, c) = (self.line.resistance().get(), self.line.capacitance().get());
+        let h = self.h;
+        self.rs * (self.cp + self.cl) + r * c * h * h / 2.0 + self.rs * c * h + self.cl * r * h
+    }
+
+    /// The paper's closed-form second moment (Eq. 2):
+    /// `b₂ = lch²/2 + r²c²h⁴/24 + R_S(C_P+C_L)·rch²/2
+    ///      + (R_S·c·h + C_L·r·h)·rch²/6 + C_L·l·h + R_S·C_P·C_L·r·h`.
+    #[must_use]
+    pub fn b2(&self) -> f64 {
+        let (r, l, c) = (
+            self.line.resistance().get(),
+            self.line.inductance().get(),
+            self.line.capacitance().get(),
+        );
+        let h = self.h;
+        let rch2 = r * c * h * h;
+        l * c * h * h / 2.0
+            + rch2 * rch2 / 24.0
+            + self.rs * (self.cp + self.cl) * rch2 / 2.0
+            + (self.rs * c * h + self.cl * r * h) * rch2 / 6.0
+            + self.cl * l * h
+            + self.rs * self.cp * self.cl * r * h
+    }
+
+    /// The Elmore delay of the structure — exactly the first moment `b₁`,
+    /// independent of the line inductance.
+    #[must_use]
+    pub fn elmore_delay(&self) -> Seconds {
+        Seconds::new(self.b1())
+    }
+
+    /// The second-order Padé reduction (Eq. 2) of the exact transfer
+    /// function.
+    #[must_use]
+    pub fn two_pole(&self) -> TwoPole {
+        TwoPole::new(self.b1(), self.b2())
+    }
+
+    /// The critical line inductance `l_crit` (Eq. 4): the value of `l`
+    /// that makes the two-pole reduction critically damped for this
+    /// `(h, k)` configuration. `b₁` does not depend on `l`, so this is
+    /// closed-form.
+    ///
+    /// A negative result means the configuration is underdamped even at
+    /// `l = 0` (cannot happen for physical RC-dominated segments, but the
+    /// value is returned as-is so callers can observe the regime).
+    #[must_use]
+    pub fn critical_inductance(&self) -> HenriesPerMeter {
+        let (r, c) = (self.line.resistance().get(), self.line.capacitance().get());
+        let h = self.h;
+        let b1 = self.b1();
+        let rch2 = r * c * h * h;
+        let numerator = b1 * b1 / 4.0
+            - rch2 * rch2 / 24.0
+            - self.rs * (self.cp + self.cl) * rch2 / 2.0
+            - (self.rs * c * h + self.cl * r * h) * rch2 / 6.0
+            - self.rs * self.cp * self.cl * r * h;
+        let denominator = c * h * h / 2.0 + self.cl * h;
+        HenriesPerMeter::new(numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_units::{FaradsPerMeter, OhmsPerMeter};
+
+    /// A 250 nm optimally-buffered segment with k = 578 and l = 1 nH/mm.
+    fn dil_250(l_nh_mm: f64) -> DriverInterconnectLoad {
+        let k = 578.0;
+        DriverInterconnectLoad::new(
+            Ohms::new(11_784.0 / k),
+            Farads::new(6.2474e-15 * k),
+            LineRlc::new(
+                OhmsPerMeter::from_ohm_per_milli(4.4),
+                HenriesPerMeter::from_nano_per_milli(l_nh_mm),
+                FaradsPerMeter::from_pico(203.5),
+            ),
+            Meters::from_milli(14.4),
+            Farads::new(1.6314e-15 * k),
+        )
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DriverInterconnectLoad>();
+        assert_send_sync::<crate::twopole::TwoPole>();
+        assert_send_sync::<crate::line::LineRlc>();
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let dil = dil_250(1.0);
+        let h0 = dil.transfer_function(Complex::from_real(1e-6));
+        assert!((h0 - Complex::ONE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn series_moments_match_paper_closed_forms() {
+        for l in [0.0, 0.5, 2.0, 4.9] {
+            let dil = dil_250(l);
+            let m = dil.moments(4);
+            assert!((m[0] - 1.0).abs() < 1e-12);
+            assert!(
+                (m[1] - dil.b1()).abs() / dil.b1() < 1e-12,
+                "b1 mismatch at l={l}: {} vs {}",
+                m[1],
+                dil.b1()
+            );
+            assert!(
+                (m[2] - dil.b2()).abs() / dil.b2() < 1e-12,
+                "b2 mismatch at l={l}: {} vs {}",
+                m[2],
+                dil.b2()
+            );
+            // Higher moments exist and are finite.
+            assert!(m[3].is_finite() && m[4].is_finite());
+        }
+    }
+
+    #[test]
+    fn moments_match_denominator_derivatives() {
+        // Numerically differentiate the exact denominator at s = 0 and
+        // compare with the series moments: D(s) ≈ 1 + b₁s + b₂s².
+        let dil = dil_250(1.5);
+        let b1 = dil.b1();
+        // Probe at a frequency scale where s·b1 ~ 1e-3.
+        let ds = 1e-3 / b1;
+        let d_plus = dil.denominator(Complex::from_real(ds));
+        let d_minus = dil.denominator(Complex::from_real(-ds));
+        let b1_fd = (d_plus - d_minus).re / (2.0 * ds);
+        let b2_fd = (d_plus + d_minus - Complex::from_real(2.0)).re / (2.0 * ds * ds);
+        assert!((b1_fd - dil.b1()).abs() / dil.b1() < 1e-5);
+        assert!((b2_fd - dil.b2()).abs() / dil.b2() < 1e-3);
+    }
+
+    #[test]
+    fn two_pole_approximates_exact_transfer_function_at_low_frequency() {
+        let dil = dil_250(1.0);
+        let tp = dil.two_pole();
+        // At |s·b1| = 0.1 the second-order model must track the exact H.
+        let s = Complex::new(0.0, 0.1 / dil.b1());
+        let exact = dil.transfer_function(s);
+        let approx = (Complex::ONE + s * tp.b1() + s * s * tp.b2()).recip();
+        assert!((exact - approx).abs() < 0.01 * exact.abs());
+    }
+
+    #[test]
+    fn elmore_delay_is_independent_of_inductance() {
+        let a = dil_250(0.0).elmore_delay();
+        let b = dil_250(4.9).elmore_delay();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn b2_grows_linearly_with_inductance() {
+        let d0 = dil_250(0.0);
+        let d1 = dil_250(1.0);
+        let d2 = dil_250(2.0);
+        let slope1 = d1.b2() - d0.b2();
+        let slope2 = d2.b2() - d1.b2();
+        assert!((slope1 - slope2).abs() / slope1 < 1e-12);
+        // Slope is (ch²/2 + C_L·h)·Δl per nH/mm.
+        let want = (203.5e-12 * 0.0144 * 0.0144 / 2.0 + 1.6314e-15 * 578.0 * 0.0144) * 1e-6;
+        assert!((slope1 - want).abs() / want < 1e-12);
+    }
+
+    #[test]
+    fn critical_inductance_makes_discriminant_vanish() {
+        let dil = dil_250(1.0);
+        let lc = dil.critical_inductance();
+        assert!(lc.get() > 0.0, "physical configs start overdamped");
+        let at_crit = DriverInterconnectLoad::new(
+            dil.driver_resistance(),
+            dil.driver_parasitic(),
+            dil.line().with_inductance(lc),
+            dil.length(),
+            dil.load_capacitance(),
+        );
+        let disc = at_crit.b1() * at_crit.b1() - 4.0 * at_crit.b2();
+        assert!(
+            disc.abs() < 1e-10 * at_crit.b1() * at_crit.b1(),
+            "disc = {disc:e}"
+        );
+    }
+
+    #[test]
+    fn more_inductance_pushes_towards_underdamping() {
+        let dil = dil_250(1.0);
+        let lc = dil.critical_inductance().get();
+        let below = dil_250((lc * 1e6) * 0.5); // half l_crit in nH/mm
+        let above = dil_250((lc * 1e6) * 1.5);
+        assert!(below.b1() * below.b1() - 4.0 * below.b2() > 0.0);
+        assert!(above.b1() * above.b1() - 4.0 * above.b2() < 0.0);
+    }
+
+    #[test]
+    fn exact_h_decays_at_high_frequency() {
+        let dil = dil_250(1.0);
+        let s = Complex::new(0.0, 100.0 / dil.b1());
+        assert!(dil.transfer_function(s).abs() < 0.2);
+    }
+}

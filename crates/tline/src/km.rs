@@ -1,0 +1,224 @@
+//! The Kahng–Muddu approximate delay model (the paper's baseline \[23\]).
+//!
+//! Kahng and Muddu give closed-form delay approximations that are
+//! accurate only when the two-pole system is *strongly* over- or
+//! under-damped (`|b₁² − 4b₂| ≫ b₂`); in between they fall back to the
+//! critically-damped expression, which depends only on `b₁` — and `b₁`
+//! does not depend on the line inductance. The paper's §2.1 observation
+//! that this makes the approximation useless for inductance-aware
+//! *optimization* is exactly what the `baselines` bench quantifies
+//! against the rigorous Newton solve.
+
+use rlckit_numeric::roots::{newton_raphson, RootOptions};
+use rlckit_numeric::{NumericError, Result};
+use rlckit_units::Seconds;
+
+use crate::twopole::TwoPole;
+
+/// Regime-selection threshold: the approximation is considered valid when
+/// `|b₁² − 4b₂| > THRESHOLD · b₂`.
+const THRESHOLD: f64 = 3.0;
+
+/// Which closed-form regime [`km_delay`] selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KmRegime {
+    /// Strongly overdamped: dominant (slow) pole only.
+    DominantPole,
+    /// Strongly underdamped: phase-form crossing estimate.
+    Oscillatory,
+    /// Neither: critically-damped fallback (inductance-independent!).
+    CriticalFallback,
+}
+
+/// Dominant-pole delay: drop the fast-pole term of the overdamped
+/// response, `v(t) ≈ 1 − s₂/(s₂−s₁)·e^{s₁t}`, and solve in closed form.
+///
+/// Returns `None` if the system is not overdamped.
+#[must_use]
+pub fn dominant_pole_delay(two_pole: &TwoPole, f: f64) -> Option<Seconds> {
+    let disc = two_pole.discriminant();
+    if disc <= 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let s1 = (-two_pole.b1() + sq) / (2.0 * two_pole.b2()); // slow
+    let s2 = (-two_pole.b1() - sq) / (2.0 * two_pole.b2()); // fast
+    // 1 − f = s₂/(s₂−s₁)·e^{s₁τ}
+    let coeff = s2 / (s2 - s1);
+    let arg = (1.0 - f) / coeff;
+    if arg <= 0.0 {
+        return None;
+    }
+    Some(Seconds::new(arg.ln() / s1))
+}
+
+/// Critically-damped delay: solve `(1 + x)·e^{−x} = 1 − f` and scale by
+/// the critical time constant `b₁/2` (since at criticality
+/// `b₂ = b₁²/4`). **Depends only on `b₁`** — the flaw the paper exploits.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] unless `0 < f < 1`.
+pub fn critical_damping_delay(two_pole: &TwoPole, f: f64) -> Result<Seconds> {
+    if !(0.0 < f && f < 1.0) {
+        return Err(NumericError::InvalidInput(format!(
+            "delay threshold must lie in (0, 1), got {f}"
+        )));
+    }
+    // Solve (1 + x)e^{−x} = 1 − f by Newton from a generous start.
+    let target = 1.0 - f;
+    let root = newton_raphson(
+        |x| (1.0 + x) * (-x).exp() - target,
+        |x| -x * (-x).exp(),
+        1.7,
+        RootOptions::default(),
+    )?;
+    Ok(Seconds::new(root.x * two_pole.b1() / 2.0))
+}
+
+/// Oscillatory (strongly underdamped) crossing estimate using the phase
+/// form `v(t) = 1 − (ω_n/ω_d)·e^{−αt}·cos(ω_d t − φ)` with two fixed-point
+/// refinements of the envelope — the closed-form-with-refinement style of
+/// the original approximation.
+///
+/// Returns `None` if the system is not underdamped.
+#[must_use]
+pub fn oscillatory_delay(two_pole: &TwoPole, f: f64) -> Option<Seconds> {
+    let disc = two_pole.discriminant();
+    if disc >= 0.0 {
+        return None;
+    }
+    let alpha = two_pole.b1() / (2.0 * two_pole.b2());
+    let omega_d = (-disc).sqrt() / (2.0 * two_pole.b2());
+    let omega_n = two_pole.natural_frequency();
+    let phi = (alpha / omega_d).atan();
+    // Zeroth estimate: ignore the decay envelope.
+    let mut t = ((1.0 - f) * omega_d / omega_n).acos() / omega_d + phi / omega_d;
+    for _ in 0..2 {
+        let envelope = omega_n / omega_d * (-alpha * t).exp();
+        let cosine = ((1.0 - f) / envelope).clamp(-1.0, 1.0);
+        t = (cosine.acos() + phi) / omega_d;
+    }
+    Some(Seconds::new(t))
+}
+
+/// The full Kahng–Muddu piecewise delay model with its regime report.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] unless `0 < f < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_tline::km::{km_delay, KmRegime};
+/// use rlckit_tline::twopole::TwoPole;
+///
+/// # fn main() -> Result<(), rlckit_numeric::NumericError> {
+/// // Near-critical: the model falls back to the b₁-only expression.
+/// let tp = TwoPole::new(1.0e-9, 0.26e-18);
+/// let (_, regime) = km_delay(&tp, 0.5)?;
+/// assert_eq!(regime, KmRegime::CriticalFallback);
+/// # Ok(())
+/// # }
+/// ```
+pub fn km_delay(two_pole: &TwoPole, f: f64) -> Result<(Seconds, KmRegime)> {
+    if !(0.0 < f && f < 1.0) {
+        return Err(NumericError::InvalidInput(format!(
+            "delay threshold must lie in (0, 1), got {f}"
+        )));
+    }
+    let disc = two_pole.discriminant();
+    if disc > THRESHOLD * two_pole.b2() {
+        if let Some(t) = dominant_pole_delay(two_pole, f) {
+            return Ok((t, KmRegime::DominantPole));
+        }
+    } else if disc < -THRESHOLD * two_pole.b2() {
+        if let Some(t) = oscillatory_delay(two_pole, f) {
+            return Ok((t, KmRegime::Oscillatory));
+        }
+    }
+    Ok((
+        critical_damping_delay(two_pole, f)?,
+        KmRegime::CriticalFallback,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_pole_is_accurate_when_strongly_overdamped() {
+        // b₂ ≪ b₁²: essentially one pole.
+        let tp = TwoPole::new(1.0, 1e-4);
+        let approx = dominant_pole_delay(&tp, 0.5).unwrap().get();
+        let exact = tp.delay(0.5).unwrap().get();
+        assert!((approx - exact).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    fn oscillatory_is_accurate_when_strongly_underdamped() {
+        // ζ = 0.1.
+        let tp = TwoPole::new(0.2, 1.0);
+        let approx = oscillatory_delay(&tp, 0.5).unwrap().get();
+        let exact = tp.delay(0.5).unwrap().get();
+        assert!(
+            (approx - exact).abs() / exact < 0.05,
+            "approx {approx}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn critical_delay_matches_exact_at_criticality() {
+        let tp = TwoPole::new(1.0, 0.25);
+        let approx = critical_damping_delay(&tp, 0.5).unwrap().get();
+        let exact = tp.delay(0.5).unwrap().get();
+        assert!((approx - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn fallback_is_blind_to_b2_changes() {
+        // The paper's §2.1 criticism: near criticality the KM delay does
+        // not move when b₂ (i.e. the line inductance) changes.
+        let a = TwoPole::new(1.0, 0.24);
+        let b = TwoPole::new(1.0, 0.26);
+        let (da, ra) = km_delay(&a, 0.5).unwrap();
+        let (db, rb) = km_delay(&b, 0.5).unwrap();
+        assert_eq!(ra, KmRegime::CriticalFallback);
+        assert_eq!(rb, KmRegime::CriticalFallback);
+        assert_eq!(da, db);
+        // …while the exact delay does move.
+        let ea = a.delay(0.5).unwrap().get();
+        let eb = b.delay(0.5).unwrap().get();
+        assert!((ea - eb).abs() / ea > 1e-3);
+    }
+
+    #[test]
+    fn regime_selection_brackets() {
+        let strongly_over = TwoPole::new(1.0, 0.01);
+        assert_eq!(km_delay(&strongly_over, 0.5).unwrap().1, KmRegime::DominantPole);
+        let strongly_under = TwoPole::new(0.1, 1.0);
+        assert_eq!(km_delay(&strongly_under, 0.5).unwrap().1, KmRegime::Oscillatory);
+        let nearly_critical = TwoPole::new(1.0, 0.25);
+        assert_eq!(
+            km_delay(&nearly_critical, 0.5).unwrap().1,
+            KmRegime::CriticalFallback
+        );
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let tp = TwoPole::new(1.0, 0.25);
+        assert!(km_delay(&tp, 1.5).is_err());
+        assert!(critical_damping_delay(&tp, 0.0).is_err());
+    }
+
+    #[test]
+    fn critical_constant_is_the_textbook_value() {
+        // (1+x)e^{-x} = 0.5 has x ≈ 1.67835.
+        let tp = TwoPole::new(2.0, 1.0);
+        let d = critical_damping_delay(&tp, 0.5).unwrap().get();
+        assert!((d - 1.67835).abs() < 1e-4);
+    }
+}

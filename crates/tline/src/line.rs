@@ -1,0 +1,160 @@
+//! Per-unit-length line parameters and derived line quantities.
+
+use rlckit_numeric::Complex;
+use rlckit_units::{FaradsPerMeter, HenriesPerMeter, Ohms, OhmsPerMeter};
+
+/// Per-unit-length parameters of a uniform distributed RLC line.
+///
+/// # Examples
+///
+/// ```
+/// use rlckit_tline::line::LineRlc;
+/// use rlckit_units::*;
+///
+/// let line = LineRlc::new(
+///     OhmsPerMeter::from_ohm_per_milli(4.4),
+///     HenriesPerMeter::from_nano_per_milli(1.0),
+///     FaradsPerMeter::from_pico(123.33),
+/// );
+/// // Lossless characteristic impedance √(l/c) ≈ 90 Ω.
+/// assert!((line.lossless_impedance().get() - 90.05).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineRlc {
+    resistance: OhmsPerMeter,
+    inductance: HenriesPerMeter,
+    capacitance: FaradsPerMeter,
+}
+
+impl LineRlc {
+    /// Creates line parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is not strictly positive, or `l` is negative
+    /// (`l = 0` is the RC limit the paper compares against).
+    #[must_use]
+    pub fn new(r: OhmsPerMeter, l: HenriesPerMeter, c: FaradsPerMeter) -> Self {
+        assert!(r.get() > 0.0, "line resistance must be positive");
+        assert!(l.get() >= 0.0, "line inductance must be non-negative");
+        assert!(c.get() > 0.0, "line capacitance must be positive");
+        Self {
+            resistance: r,
+            inductance: l,
+            capacitance: c,
+        }
+    }
+
+    /// Resistance per unit length.
+    #[must_use]
+    pub fn resistance(&self) -> OhmsPerMeter {
+        self.resistance
+    }
+
+    /// Inductance per unit length.
+    #[must_use]
+    pub fn inductance(&self) -> HenriesPerMeter {
+        self.inductance
+    }
+
+    /// Capacitance per unit length.
+    #[must_use]
+    pub fn capacitance(&self) -> FaradsPerMeter {
+        self.capacitance
+    }
+
+    /// Returns a copy with a different line inductance — the paper's
+    /// swept parameter.
+    #[must_use]
+    pub fn with_inductance(&self, l: HenriesPerMeter) -> Self {
+        Self::new(self.resistance, l, self.capacitance)
+    }
+
+    /// Lossless characteristic impedance `√(l/c)`.
+    #[must_use]
+    pub fn lossless_impedance(&self) -> Ohms {
+        rlckit_units::lossless_characteristic_impedance(self.inductance, self.capacitance)
+    }
+
+    /// Lossy characteristic impedance `Z₀(s) = √((r + s·l)/(s·c))`.
+    #[must_use]
+    pub fn characteristic_impedance(&self, s: Complex) -> Complex {
+        let num = s * self.inductance.get() + self.resistance.get();
+        let den = s * self.capacitance.get();
+        (num / den).sqrt()
+    }
+
+    /// Propagation constant `θ(s) = √((r + s·l)·s·c)` per unit length.
+    #[must_use]
+    pub fn propagation_constant(&self, s: Complex) -> Complex {
+        let zy = (s * self.inductance.get() + self.resistance.get())
+            * (s * self.capacitance.get());
+        zy.sqrt()
+    }
+
+    /// Time of flight per unit length `√(l·c)`, in s/m (0 in the RC limit).
+    #[must_use]
+    pub fn time_of_flight_per_meter(&self) -> f64 {
+        rlckit_units::time_of_flight_per_meter(self.inductance, self.capacitance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineRlc {
+        LineRlc::new(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            HenriesPerMeter::from_nano_per_milli(1.0),
+            FaradsPerMeter::from_pico(203.5),
+        )
+    }
+
+    #[test]
+    fn impedance_times_admittance_is_theta_squared() {
+        let l = line();
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+        let z0 = l.characteristic_impedance(s);
+        let theta = l.propagation_constant(s);
+        // Z₀·θ = r + s·l and θ/Z₀ = s·c.
+        let series = z0 * theta;
+        let want = s * 1.0e-6 + 4400.0;
+        assert!((series - want).abs() / want.abs() < 1e-10);
+        let shunt = theta / z0;
+        let want = s * 203.5e-12;
+        assert!((shunt - want).abs() / want.abs() < 1e-10);
+    }
+
+    #[test]
+    fn high_frequency_impedance_approaches_lossless() {
+        let l = line();
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * 1e13);
+        let z = l.characteristic_impedance(s);
+        assert!((z.abs() - l.lossless_impedance().get()).abs() < 0.5);
+    }
+
+    #[test]
+    fn rc_limit_has_zero_flight_time() {
+        let l = line().with_inductance(HenriesPerMeter::ZERO);
+        assert_eq!(l.time_of_flight_per_meter(), 0.0);
+    }
+
+    #[test]
+    fn with_inductance_preserves_r_and_c() {
+        let l = line().with_inductance(HenriesPerMeter::from_nano_per_milli(3.0));
+        assert_eq!(l.resistance(), line().resistance());
+        assert_eq!(l.capacitance(), line().capacitance());
+        assert!((l.inductance().to_nano_per_milli() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inductance must be non-negative")]
+    fn negative_inductance_rejected() {
+        let _ = LineRlc::new(
+            OhmsPerMeter::from_ohm_per_milli(4.4),
+            HenriesPerMeter::new(-1e-9),
+            FaradsPerMeter::from_pico(203.5),
+        );
+    }
+}

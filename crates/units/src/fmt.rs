@@ -1,0 +1,69 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+use core::fmt;
+
+/// SI prefixes covering the range used on chip (yocto… is unnecessary).
+const PREFIXES: &[(f64, &str)] = &[
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+];
+
+/// Writes `value` with the closest engineering prefix and the given unit.
+///
+/// Values are rendered with up to five significant digits, which is enough
+/// to round-trip every constant in the paper's Table 1.
+pub(crate) fn engineering(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    if value == 0.0 {
+        return write!(f, "0 {unit}");
+    }
+    if !value.is_finite() {
+        return write!(f, "{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s)
+        .copied()
+        .unwrap_or((1e-18, "a"));
+    let scaled = value / scale;
+    // Trim trailing zeros that `{:.5}` style formatting would leave behind.
+    let mut text = format!("{scaled:.5}");
+    while text.contains('.') && (text.ends_with('0') || text.ends_with('.')) {
+        text.pop();
+    }
+    write!(f, "{text} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Farads, Henries, Meters, Ohms, Seconds};
+
+    #[test]
+    fn formats_with_engineering_prefixes() {
+        assert_eq!(format!("{}", Seconds::from_pico(305.17)), "305.17 ps");
+        assert_eq!(format!("{}", Ohms::from_kilo(11.784)), "11.784 kΩ");
+        assert_eq!(format!("{}", Farads::from_femto(1.6314)), "1.6314 fF");
+        assert_eq!(format!("{}", Henries::from_nano(5.0)), "5 nH");
+        assert_eq!(format!("{}", Meters::from_milli(14.4)), "14.4 mm");
+    }
+
+    #[test]
+    fn formats_zero_and_negatives() {
+        assert_eq!(format!("{}", Seconds::ZERO), "0 s");
+        assert_eq!(format!("{}", Seconds::from_nano(-1.5)), "-1.5 ns");
+    }
+
+    #[test]
+    fn formats_non_finite() {
+        assert_eq!(format!("{}", Seconds::new(f64::INFINITY)), "inf s");
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-unit-length line densities (`r`, `l`, `c` of a distributed line).
+
+use crate::scalar::quantity;
+
+quantity! {
+    /// A resistance per unit length in ohms per metre.
+    ///
+    /// The paper quotes line resistance in Ω/mm; use
+    /// [`OhmsPerMeter::from_ohm_per_milli`] for those values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlckit_units::OhmsPerMeter;
+    /// let r = OhmsPerMeter::from_ohm_per_milli(4.4);
+    /// assert!((r.get() - 4400.0).abs() < 1e-9);
+    /// ```
+    OhmsPerMeter, "Ω/m"
+}
+
+quantity! {
+    /// A capacitance per unit length in farads per metre.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlckit_units::FaradsPerMeter;
+    /// let c = FaradsPerMeter::from_pico(203.50);
+    /// assert!((c.get() - 203.5e-12).abs() < 1e-21);
+    /// ```
+    FaradsPerMeter, "F/m"
+}
+
+quantity! {
+    /// An inductance per unit length in henries per metre.
+    ///
+    /// The paper sweeps `l` in nH/mm (= µH/m); use
+    /// [`HenriesPerMeter::from_nano_per_milli`] for those values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlckit_units::HenriesPerMeter;
+    /// let l = HenriesPerMeter::from_nano_per_milli(2.2);
+    /// assert!((l.get() - 2.2e-6).abs() < 1e-15);
+    /// ```
+    HenriesPerMeter, "H/m"
+}
+
+impl OhmsPerMeter {
+    /// Creates a line resistance from a value in Ω/mm (the paper's unit).
+    #[must_use]
+    pub const fn from_ohm_per_milli(ohm_per_mm: f64) -> Self {
+        Self::new(ohm_per_mm * 1e3)
+    }
+
+    /// Returns the value in Ω/mm (the paper's unit).
+    #[must_use]
+    pub fn to_ohm_per_milli(self) -> f64 {
+        self.get() * 1e-3
+    }
+}
+
+impl FaradsPerMeter {
+    /// Creates a line capacitance from a value in pF/m (the paper's unit).
+    #[must_use]
+    pub const fn from_pico(pf_per_m: f64) -> Self {
+        Self::new(pf_per_m * 1e-12)
+    }
+
+    /// Returns the value in pF/m (the paper's unit).
+    #[must_use]
+    pub fn to_pico(self) -> f64 {
+        self.get() * 1e12
+    }
+
+    /// Creates a line capacitance from a value in fF/µm (a common
+    /// extraction unit; 1 fF/µm = 1 nF/m).
+    #[must_use]
+    pub const fn from_femto_per_micro(ff_per_um: f64) -> Self {
+        Self::new(ff_per_um * 1e-9)
+    }
+}
+
+impl HenriesPerMeter {
+    /// Creates a line inductance from a value in nH/mm (the paper's unit).
+    #[must_use]
+    pub const fn from_nano_per_milli(nh_per_mm: f64) -> Self {
+        Self::new(nh_per_mm * 1e-6)
+    }
+
+    /// Returns the value in nH/mm (the paper's unit).
+    #[must_use]
+    pub fn to_nano_per_milli(self) -> f64 {
+        self.get() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_unit_round_trips() {
+        let r = OhmsPerMeter::from_ohm_per_milli(4.4);
+        assert!((r.to_ohm_per_milli() - 4.4).abs() < 1e-12);
+
+        let c = FaradsPerMeter::from_pico(123.33);
+        assert!((c.to_pico() - 123.33).abs() < 1e-9);
+
+        let l = HenriesPerMeter::from_nano_per_milli(5.0);
+        assert!((l.to_nano_per_milli() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extraction_unit_conversion() {
+        // 0.2 fF/µm == 200 pF/m
+        let c = FaradsPerMeter::from_femto_per_micro(0.2);
+        assert!((c.to_pico() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Crosstalk on a coupled global-wire pair: how inductive coupling
+//! changes both the noise picture and the worst-case switching pattern
+//! relative to the capacitive-only (RC Miller) view — the companion to
+//! the paper's fixed-`c` discussion in §3.
+//!
+//! Run with: `cargo run --release --example crosstalk_study`
+
+use rlckit::prelude::*;
+use rlckit::report::Table;
+use rlckit_extract::inductance::mutual_inductance_parallel;
+use rlckit_tline::coupled::{CoupledRlc, CrosstalkAnalysis};
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    let node = TechNode::nm100();
+    let rc = rc_optimum(&node.line(), &node.driver());
+    let k = rc.repeater_size;
+    let h = rc.segment_length;
+
+    // Estimate the mutual inductance of two parallel wires at pitch from
+    // the extraction substrate (normalized per length).
+    let pitch = node.wire().pitch();
+    let m_total = mutual_inductance_parallel(h, pitch);
+    let lm_per_m = m_total.get() / h.get();
+
+    let mut table = Table::new(&[
+        "l (nH/mm)",
+        "l_m (nH/mm)",
+        "c_c (pF/m)",
+        "peak victim noise (%VDD)",
+        "delay with neighbour (ps)",
+        "delay against neighbour (ps)",
+        "worst pattern",
+    ]);
+
+    for l_nh in [0.8, 1.5, 3.0] {
+        let line = LineRlc::new(
+            node.line().resistance,
+            HenriesPerMeter::from_nano_per_milli(l_nh),
+            node.line().capacitance,
+        );
+        // Mutual inductance cannot exceed the self value in the model.
+        let lm = lm_per_m.min(0.8 * line.inductance().get());
+        for cc_pf in [10.0, 40.0] {
+            let pair = CoupledRlc::new(
+                line,
+                HenriesPerMeter::new(lm),
+                FaradsPerMeter::from_pico(cc_pf),
+            );
+            let xt = CrosstalkAnalysis::new(
+                &pair,
+                Ohms::new(node.driver().output_resistance.get() / k),
+                Farads::new(node.driver().parasitic_capacitance.get() * k),
+                h,
+                Farads::new(node.driver().input_capacitance.get() * k),
+            );
+            let (_, peak) = xt.peak_victim_noise();
+            let (even, odd) = xt.mode_delays()?;
+            let worst = if even.get() > odd.get() {
+                "switching WITH (inductive)"
+            } else {
+                "switching AGAINST (capacitive)"
+            };
+            table.row(&[
+                &format!("{l_nh:.1}"),
+                &format!("{:.2}", lm * 1e6),
+                &format!("{cc_pf:.0}"),
+                &format!("{:.1}", peak.abs() * 100.0),
+                &format!("{:.1}", even.get() * 1e12),
+                &format!("{:.1}", odd.get() * 1e12),
+                worst,
+            ]);
+        }
+    }
+    println!("{}", table.to_text());
+    println!(
+        "with strong inductive coupling the worst-case delay pattern flips from\n\
+         switching-against (the RC Miller picture) to switching-with — one more\n\
+         way an RC-only model mispredicts, echoing the paper's introduction."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Compare every delay model in the workspace on one buffered segment as
+//! the line inductance sweeps: the exact inverse-Laplace oracle, the
+//! paper's rigorous two-pole solve, Elmore, and the Kahng–Muddu
+//! approximation (whose critical-damping fallback goes blind to `l` —
+//! the flaw that motivated the paper).
+//!
+//! Run with: `cargo run --release --example delay_model_shootout`
+
+use rlckit::baselines::km_delay;
+use rlckit::optimizer::segment_structure;
+use rlckit::prelude::*;
+use rlckit::report::Table;
+use rlckit_tline::exact::exact_delay;
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    let node = TechNode::nm100();
+    let rc = rc_optimum(&node.line(), &node.driver());
+
+    let mut table = Table::new(&[
+        "l (nH/mm)",
+        "exact (ps)",
+        "two-pole (ps)",
+        "2p err",
+        "Elmore (ps)",
+        "Kahng–Muddu (ps)",
+        "KM regime",
+    ]);
+
+    for l in [0.0, 0.3, 0.6, 1.0, 1.5, 2.2, 3.0, 4.5] {
+        let line = LineRlc::new(
+            node.line().resistance,
+            HenriesPerMeter::from_nano_per_milli(l),
+            node.line().capacitance,
+        );
+        let dil = segment_structure(
+            &line,
+            &node.driver(),
+            rc.segment_length,
+            rc.repeater_size,
+        );
+        let exact = exact_delay(&dil, 0.5)?.get();
+        let two_pole = dil.two_pole().delay(0.5)?.get();
+        let elmore = core::f64::consts::LN_2 * dil.b1();
+        let (km, regime) = km_delay(&dil.two_pole(), 0.5)?;
+        table.row(&[
+            &format!("{l:.1}"),
+            &format!("{:.1}", exact * 1e12),
+            &format!("{:.1}", two_pole * 1e12),
+            &format!("{:+.1}%", (two_pole / exact - 1.0) * 100.0),
+            &format!("{:.1}", elmore * 1e12),
+            &format!("{:.1}", km.get() * 1e12),
+            &format!("{regime:?}"),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "Elmore never moves with l; Kahng–Muddu freezes in its critical fallback exactly\n\
+         where the practical inductances live; the two-pole Newton solve tracks the exact\n\
+         response everywhere — which is why the paper optimizes with it."
+    );
+    Ok(())
+}

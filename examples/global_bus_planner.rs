@@ -1,0 +1,104 @@
+//! Plan repeater insertion for a global bus under inductance
+//! uncertainty, end to end:
+//!
+//! 1. extract `r`, `c` and the inductance band from the wire geometry
+//!    (the closed-form substitutes for FASTCAP/FASTHENRY);
+//! 2. optimize `(h, k)` at several points of the band;
+//! 3. pick the design that minimizes the *worst-case* delay across the
+//!    band — the robust answer the paper's §3.2 motivates.
+//!
+//! Run with: `cargo run --example global_bus_planner`
+
+use rlckit::prelude::*;
+use rlckit::report::Table;
+use rlckit_extract::capacitance::{total_line_capacitance, NeighborActivity};
+use rlckit_extract::geometry::Material;
+use rlckit_extract::inductance::{microstrip_loop_inductance, two_wire_loop_inductance};
+use rlckit_extract::resistance::resistance_per_length;
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    let node = TechNode::nm100();
+    let wire = node.wire();
+    let route = Meters::from_milli(20.0);
+
+    // --- 1. Extraction ---------------------------------------------------
+    let r = resistance_per_length(&wire, Material::COPPER_INTERCONNECT);
+    let c = total_line_capacitance(&wire, node.relative_permittivity(), NeighborActivity::Quiet);
+    let l_best = microstrip_loop_inductance(&wire);
+    // Worst case: the return current detours through a power strap 1 mm away.
+    let l_worst = two_wire_loop_inductance(&wire, Meters::from_milli(1.0));
+    println!(
+        "extracted: r = {:.2} Ω/mm, c = {:.1} pF/m, l ∈ [{:.2}, {:.2}] nH/mm",
+        r.to_ohm_per_milli(),
+        c.to_pico(),
+        l_best.to_nano_per_milli(),
+        l_worst.to_nano_per_milli()
+    );
+
+    // --- 2. Candidate designs across the band ----------------------------
+    let band: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(
+        l_best.to_nano_per_milli(),
+        l_worst.to_nano_per_milli(),
+        5,
+    )
+    .into_iter()
+    .map(HenriesPerMeter::from_nano_per_milli)
+    .collect();
+
+    let mut candidates = Vec::new();
+    for &l_design in &band {
+        let line = LineRlc::new(r, l_design, c);
+        let opt = optimize_rlc(&line, &node.driver(), OptimizerOptions::default())?;
+        candidates.push((l_design, opt));
+    }
+
+    // --- 3. Worst-case audit of each candidate ---------------------------
+    let mut table = Table::new(&[
+        "designed at (nH/mm)",
+        "h (mm)",
+        "k",
+        "best-case route delay",
+        "worst-case route delay",
+    ]);
+    let mut best: Option<(f64, String)> = None;
+    for (l_design, opt) in &candidates {
+        let mut worst_delay: f64 = 0.0;
+        let mut best_delay = f64::MAX;
+        for &l_actual in &band {
+            let actual_line = LineRlc::new(r, l_actual, c);
+            let tau = segment_delay(
+                &actual_line,
+                &node.driver(),
+                opt.segment_length,
+                opt.repeater_size,
+                0.5,
+            )?;
+            let route_delay = tau.get() / opt.segment_length.get() * route.get();
+            worst_delay = worst_delay.max(route_delay);
+            best_delay = best_delay.min(route_delay);
+        }
+        table.row(&[
+            &format!("{:.2}", l_design.to_nano_per_milli()),
+            &format!("{:.2}", opt.segment_length.get() * 1e3),
+            &format!("{:.0}", opt.repeater_size),
+            &format!("{}", Seconds::new(best_delay)),
+            &format!("{}", Seconds::new(worst_delay)),
+        ]);
+        let label = format!(
+            "design at {:.2} nH/mm (h = {:.2} mm, k = {:.0})",
+            l_design.to_nano_per_milli(),
+            opt.segment_length.get() * 1e3,
+            opt.repeater_size
+        );
+        if best.as_ref().is_none_or(|(w, _)| worst_delay < *w) {
+            best = Some((worst_delay, label));
+        }
+    }
+    println!("\n{}", table.to_text());
+    let (worst, label) = best.expect("candidates evaluated");
+    println!(
+        "robust choice: {label} — worst-case 20 mm delay {}",
+        Seconds::new(worst)
+    );
+    Ok(())
+}

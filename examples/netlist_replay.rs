@@ -1,0 +1,72 @@
+//! Replay a SPICE deck through the in-workspace simulator: parse,
+//! simulate, measure — no API circuit-building required.
+//!
+//! Run with: `cargo run --release --example netlist_replay`
+
+use rlckit::report::Table;
+use rlckit_spice::measure::{crossings, Edge};
+use rlckit_spice::parse::parse_netlist_for_node;
+use rlckit_spice::transient::{simulate, TransientOptions};
+use rlckit_tech::TechNode;
+
+/// A 100 nm inverter driving a four-section RLC line at 2 nH/mm,
+/// exercised by a 1 GHz clock.
+const DECK: &str = "\
+* inverter + distributed line, 100 nm
+VDD vdd 0 1.2
+VCK in 0 PULSE(0 1.2 0 20p 20p 460p 1n)
+M1N drv in 0 0 NMOS W=528
+M1P drv in vdd vdd PMOS W=528
+* 11.1 mm line in 4 sections (r=4.4 ohm/mm, l=2 nH/mm, c=123.33 pF/m)
+R1 drv a 12.21
+L1 a b 5.55n
+C1 b 0 342f
+R2 b c 12.21
+L2 c d 5.55n
+C2 d 0 342f
+R3 d e 12.21
+L3 e f 5.55n
+C3 f 0 342f
+R4 f g 12.21
+L4 g far 5.55n
+C4 far 0 342f
+* receiving gate
+M2N out far 0 0 NMOS W=528
+M2P out far vdd vdd PMOS W=528
+C5 out 0 400f
+.END
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let node = TechNode::nm100();
+    let parsed = parse_netlist_for_node(DECK, &node)?;
+    println!(
+        "parsed {} elements across {} nodes",
+        parsed.circuit.elements().len(),
+        parsed.circuit.node_count()
+    );
+
+    let result = simulate(&parsed.circuit, &TransientOptions::new(3e-9, 2e-12))?;
+    let vdd = node.supply_voltage().get();
+
+    let mut table = Table::new(&["node", "rising edges", "min (V)", "max (V)"]);
+    for name in ["in", "drv", "far", "out"] {
+        let n = parsed.node(name).expect("deck node");
+        let v = result.voltage(n);
+        let edges = crossings(result.times(), v, vdd / 2.0, Edge::Rising).len();
+        let lo = v.iter().copied().fold(f64::MAX, f64::min);
+        let hi = v.iter().copied().fold(f64::MIN, f64::max);
+        table.row(&[
+            name,
+            &edges.to_string(),
+            &format!("{lo:.2}"),
+            &format!("{hi:.2}"),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "the far end of the line rings past the rails (inductive reflections) while the\n\
+         receiving inverter regenerates clean logic levels at its output."
+    );
+    Ok(())
+}

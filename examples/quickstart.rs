@@ -1,0 +1,52 @@
+//! Quickstart: optimal repeater insertion for one global wire.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rlckit::prelude::*;
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    // 1. Pick a technology node (the paper's Table 1 is built in).
+    let node = TechNode::nm100();
+
+    // 2. Describe the line. The inductance depends on the return path;
+    //    1.8 nH/mm is a practical mid-range value for unshielded top
+    //    metal (see rlckit-extract for estimating it from geometry).
+    let line = LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(1.8),
+        node.line().capacitance,
+    );
+
+    // 3. The classical Elmore (RC) answer...
+    let rc = rc_optimum(&node.line(), &node.driver());
+    println!(
+        "RC optimum : insert a {:.0}× repeater every {} ({} per segment)",
+        rc.repeater_size, rc.segment_length, rc.segment_delay
+    );
+
+    // 4. ...and the paper's rigorous RLC answer.
+    let rlc = optimize_rlc(&line, &node.driver(), OptimizerOptions::default())?;
+    println!(
+        "RLC optimum: insert a {:.0}× repeater every {} ({} per segment, {})",
+        rlc.repeater_size, rlc.segment_length, rlc.segment_delay, rlc.damping
+    );
+
+    // 5. What that buys on a 2 cm bus route.
+    let route = Meters::from_milli(20.0);
+    let naive = segment_delay(
+        &line,
+        &node.driver(),
+        rc.segment_length,
+        rc.repeater_size,
+        0.5,
+    )?
+    .get()
+        / rc.segment_length.get()
+        * route.get();
+    println!(
+        "2 cm route: {} with the RC design vs {} with the RLC design",
+        Seconds::new(naive),
+        rlc.total_delay(route)
+    );
+    Ok(())
+}

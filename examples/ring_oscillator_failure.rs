@@ -1,0 +1,58 @@
+//! Reproduce the paper's §3.3.1 logic-failure study interactively: sweep
+//! the line inductance of a five-stage ring oscillator and watch the
+//! oscillation period collapse when undershoot starts falsely switching
+//! the inverters.
+//!
+//! Run with: `cargo run --release --example ring_oscillator_failure`
+//! (release strongly recommended — this drives the circuit simulator).
+
+use rlckit::failure::{failure_onset, period_vs_inductance, ring_waveforms, RingOscillatorOptions};
+use rlckit::prelude::*;
+use rlckit::report::Table;
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    let node = TechNode::nm100();
+    let options = RingOscillatorOptions::default();
+
+    let grid: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(0.0, 3.0, 11)
+        .into_iter()
+        .map(HenriesPerMeter::from_nano_per_milli)
+        .collect();
+    let series = period_vs_inductance(&node, grid, &options)?;
+
+    let mut table = Table::new(&["l (nH/mm)", "period (ps)", "regime"]);
+    let onset = failure_onset(&series, 0.6);
+    for (l, period) in &series {
+        let regime = match (period, onset) {
+            (None, _) => "no stable oscillation detected",
+            (Some(_), Some(o)) if l.get() >= o.get() => "FALSE SWITCHING",
+            _ => "clean",
+        };
+        table.row(&[
+            &format!("{:.2}", l.to_nano_per_milli()),
+            &period.map_or_else(|| "-".to_string(), |p| format!("{:.1}", p.get() * 1e12)),
+            regime,
+        ]);
+    }
+    println!("{}", table.to_text());
+    if let Some(l) = onset {
+        println!(
+            "failure onset at l ≈ {:.2} nH/mm — the period collapses to under half\n",
+            l.to_nano_per_milli()
+        );
+    }
+
+    // Zoom into one clean and one failing run, like the paper's Figs 9/10.
+    for l in [1.0, 2.4] {
+        let w = ring_waveforms(&node, HenriesPerMeter::from_nano_per_milli(l), &options)?;
+        let vdd = node.supply_voltage().get();
+        println!(
+            "l = {l} nH/mm: inverter-input overshoot {:.2} V above VDD, undershoot {:.2} V \
+             below ground",
+            w.input_overshoot(vdd),
+            w.input_undershoot()
+        );
+    }
+    println!("\n(gate-oxide note: everything above VDD stresses the receiving gate — §3.3.2)");
+    Ok(())
+}

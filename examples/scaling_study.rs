@@ -1,0 +1,55 @@
+//! Walk the NTRS scaling trajectory from 250 nm to 100 nm and watch
+//! inductance susceptibility grow — the paper's central claim, extended
+//! from its two endpoint nodes to the interpolated path.
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use rlckit::prelude::*;
+use rlckit::report::Table;
+use rlckit::sweeps::{delay_ratio_series, standard_node_sweep};
+use rlckit_tech::scaling::interpolate_node;
+
+fn main() -> Result<(), rlckit_numeric::NumericError> {
+    let mut table = Table::new(&[
+        "node",
+        "r_s (kΩ)",
+        "c₀+c_p (fF)",
+        "intrinsic r_s(c₀+c_p) (ps)",
+        "(τ/h) ratio at l≈5nH/mm",
+        "worst Fig-8 penalty",
+    ]);
+
+    for feature in [250.0f64, 180.0, 130.0, 100.0] {
+        let node = if (feature - 250.0).abs() < 1e-9 {
+            TechNode::nm250()
+        } else if (feature - 100.0).abs() < 1e-9 {
+            TechNode::nm100()
+        } else {
+            interpolate_node(feature)
+        };
+        let sweep = standard_node_sweep(&node, 11)?;
+        let ratio_end = delay_ratio_series(&sweep).last().expect("points").1;
+        let worst_penalty = sweep
+            .iter()
+            .map(rlckit::sweeps::SweepPoint::variation_penalty)
+            .fold(0.0f64, f64::max);
+        let d = node.driver();
+        table.row(&[
+            node.name(),
+            &format!("{:.2}", d.output_resistance.get() / 1e3),
+            &format!(
+                "{:.2}",
+                (d.input_capacitance.get() + d.parasitic_capacitance.get()) * 1e15
+            ),
+            &format!("{:.1}", d.intrinsic_delay().get() * 1e12),
+            &format!("{ratio_end:.2}×"),
+            &format!("{:.1}%", (worst_penalty - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "the wires are identical at every node — the growing susceptibility tracks the\n\
+         shrinking driver constants r_s·(c₀+c_p), exactly the paper's conclusion."
+    );
+    Ok(())
+}

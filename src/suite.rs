@@ -1,0 +1,13 @@
+//! `rlckit-suite` — umbrella package for the rlckit workspace.
+//!
+//! This crate exists so that the repository-level `tests/` and `examples/`
+//! directories can exercise every crate in the workspace through one
+//! dependency set. It re-exports the member crates for convenience.
+
+pub use rlckit;
+pub use rlckit_extract as extract;
+pub use rlckit_numeric as numeric;
+pub use rlckit_spice as spice;
+pub use rlckit_tech as tech;
+pub use rlckit_tline as tline;
+pub use rlckit_units as units;

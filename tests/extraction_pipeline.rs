@@ -1,0 +1,111 @@
+//! Extraction → technology → optimization, end to end: starting from
+//! nothing but the wire cross-section geometry, the pipeline must
+//! produce a sane repeater plan, and the frequency content of the
+//! resulting design must justify the methodology's DC-resistance choice.
+
+use rlckit::optimizer::{optimize_rlc, segment_structure, OptimizerOptions};
+use rlckit_extract::capacitance::{total_line_capacitance, NeighborActivity};
+use rlckit_extract::geometry::{Material, WireGeometry};
+use rlckit_extract::inductance::{microstrip_loop_inductance, two_wire_loop_inductance};
+use rlckit_extract::resistance::resistance_per_length;
+use rlckit_extract::skin::{ac_resistance_per_length, skin_onset_frequency};
+use rlckit_tech::TechNode;
+use rlckit_tline::{Damping, LineRlc};
+use rlckit_units::{Hertz, Meters};
+
+fn table1_wire() -> WireGeometry {
+    TechNode::nm100().wire()
+}
+
+#[test]
+fn geometry_to_repeater_plan() {
+    let wire = table1_wire();
+    let node = TechNode::nm100();
+
+    // Pure-extraction line parameters (no Table 1 shortcuts).
+    let r = resistance_per_length(&wire, Material::COPPER_INTERCONNECT);
+    let c = total_line_capacitance(&wire, node.relative_permittivity(), NeighborActivity::Quiet);
+    let l = two_wire_loop_inductance(&wire, Meters::from_micro(500.0));
+    let line = LineRlc::new(r, l, c);
+
+    let opt = optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("optimum");
+    // Global-wire answers must land in the physically sensible decade.
+    assert!(
+        opt.segment_length.get() > 3e-3 && opt.segment_length.get() < 60e-3,
+        "h = {}",
+        opt.segment_length
+    );
+    assert!(
+        opt.repeater_size > 50.0 && opt.repeater_size < 5000.0,
+        "k = {}",
+        opt.repeater_size
+    );
+    assert!(opt.segment_delay.get() > 10e-12 && opt.segment_delay.get() < 2e-9);
+}
+
+#[test]
+fn extracted_inductance_band_brackets_the_paper_sweep() {
+    let wire = table1_wire();
+    let floor = microstrip_loop_inductance(&wire).to_nano_per_milli();
+    let worst = two_wire_loop_inductance(&wire, Meters::from_milli(5.0)).to_nano_per_milli();
+    assert!(floor > 0.3 && floor < 1.5, "floor {floor}");
+    assert!(worst > floor && worst < 5.0, "worst {worst}");
+}
+
+#[test]
+fn design_ringing_sits_below_the_skin_onset() {
+    // The damped natural frequency of the optimized underdamped segment
+    // must sit below (or near) the skin onset for the DC-r choice to be
+    // defensible — quantify it.
+    let wire = table1_wire();
+    let node = TechNode::nm100();
+    let line = LineRlc::new(
+        node.line().resistance,
+        rlckit_units::HenriesPerMeter::from_nano_per_milli(2.0),
+        node.line().capacitance,
+    );
+    let opt = optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("optimum");
+    assert_eq!(opt.damping, Damping::Underdamped);
+    let tp = segment_structure(&line, &node.driver(), opt.segment_length, opt.repeater_size)
+        .two_pole();
+    let f_ring = tp.natural_frequency() / (2.0 * std::f64::consts::PI);
+    let f_onset = skin_onset_frequency(&wire, Material::COPPER_INTERCONNECT).get();
+    assert!(
+        f_ring < 2.0 * f_onset,
+        "ringing at {f_ring:.3e} Hz vs onset {f_onset:.3e} Hz"
+    );
+    // And the AC resistance at the ringing frequency stays within ~2× DC.
+    let r_dc = resistance_per_length(&wire, Material::COPPER_INTERCONNECT).get();
+    let r_ac = ac_resistance_per_length(&wire, Material::COPPER_INTERCONNECT, Hertz::new(f_ring))
+        .get();
+    assert!(
+        r_ac / r_dc < 2.0,
+        "skin effect already {:.2}× at the ringing frequency",
+        r_ac / r_dc
+    );
+}
+
+#[test]
+fn miller_band_moves_the_optimum_as_the_paper_expects() {
+    // §3: effective c varies with neighbour activity; the optimizer's h
+    // shrinks as c grows (denser segments for heavier lines).
+    let wire = table1_wire();
+    let node = TechNode::nm100();
+    let r = resistance_per_length(&wire, Material::COPPER_INTERCONNECT);
+    let l = rlckit_units::HenriesPerMeter::from_nano_per_milli(1.0);
+    let mut last_h = f64::MAX;
+    for activity in [
+        NeighborActivity::SwitchingWith,
+        NeighborActivity::Quiet,
+        NeighborActivity::SwitchingAgainst,
+    ] {
+        let c = total_line_capacitance(&wire, node.relative_permittivity(), activity);
+        let opt = optimize_rlc(&LineRlc::new(r, l, c), &node.driver(), OptimizerOptions::default())
+            .expect("optimum");
+        assert!(
+            opt.segment_length.get() < last_h,
+            "h not shrinking with effective c ({activity:?})"
+        );
+        last_h = opt.segment_length.get();
+    }
+}

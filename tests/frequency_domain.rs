@@ -1,0 +1,145 @@
+//! Frequency-domain cross-validation: the simulator's AC analysis of the
+//! discretized RLC ladder against the exact distributed transfer
+//! function of Eq. 1 — two completely independent evaluation routes.
+
+use rlckit_numeric::Complex;
+use rlckit_spice::ac::ac_analysis;
+use rlckit_spice::builders::{rlc_ladder, LadderLine};
+use rlckit_spice::waveform::Waveform;
+use rlckit_spice::Circuit;
+use rlckit_tech::TechNode;
+use rlckit_tline::{DriverInterconnectLoad, LineRlc};
+use rlckit_units::{Farads, HenriesPerMeter, Meters, Ohms};
+
+struct Setup {
+    dil: DriverInterconnectLoad,
+    circuit: Circuit,
+    source: rlckit_spice::ElementId,
+    far: rlckit_spice::Node,
+}
+
+fn build(l_nh: f64, segments: usize) -> Setup {
+    let node = TechNode::nm100();
+    let k = 528.0;
+    let h = Meters::from_milli(11.1);
+    let rs = node.driver().output_resistance.get() / k;
+    let cp = node.driver().parasitic_capacitance.get() * k;
+    let cl = node.driver().input_capacitance.get() * k;
+
+    let line = LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(l_nh),
+        node.line().capacitance,
+    );
+    let dil = DriverInterconnectLoad::new(Ohms::new(rs), Farads::new(cp), line, h, Farads::new(cl));
+
+    let mut circuit = Circuit::new();
+    let src = circuit.add_node("src");
+    let drv = circuit.add_node("drv");
+    let far = circuit.add_node("far");
+    let source = circuit.voltage_source(src, Circuit::GROUND, Waveform::Dc(0.0));
+    circuit.resistor(src, drv, rs);
+    circuit.capacitor(drv, Circuit::GROUND, cp);
+    rlc_ladder(
+        &mut circuit,
+        drv,
+        far,
+        LadderLine {
+            r_per_m: node.line().resistance.get(),
+            l_per_m: l_nh * 1e-6,
+            c_per_m: node.line().capacitance.get(),
+        },
+        h,
+        segments,
+    );
+    circuit.capacitor(far, Circuit::GROUND, cl);
+    Setup {
+        dil,
+        circuit,
+        source,
+        far,
+    }
+}
+
+#[test]
+fn ladder_ac_response_matches_exact_transfer_function() {
+    let setup = build(1.8, 40);
+    // Frequencies up to ~2× the system's bandwidth (1/b1).
+    let f_scale = 1.0 / (2.0 * std::f64::consts::PI * setup.dil.b1());
+    let freqs: Vec<f64> = [0.05, 0.2, 0.5, 1.0, 2.0].iter().map(|m| m * f_scale).collect();
+    let ac = ac_analysis(&setup.circuit, setup.source, &freqs).expect("ac sweep");
+    for (i, &f) in freqs.iter().enumerate() {
+        let simulated = ac.voltage(i, setup.far);
+        let exact = setup
+            .dil
+            .transfer_function(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
+        let err = (simulated - exact).abs() / exact.abs().max(1e-6);
+        assert!(
+            err < 0.05,
+            "f = {:.2}·bw: ladder {simulated} vs exact {exact} ({:.1}% off)",
+            f / f_scale,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn ladder_discretization_error_shrinks_with_section_count() {
+    // Convergence of the spatial discretization, measured in the
+    // frequency domain at the bandwidth edge.
+    let f = 1.0 / (2.0 * std::f64::consts::PI * build(1.8, 4).dil.b1());
+    let error_at = |segments: usize| {
+        let setup = build(1.8, segments);
+        let ac = ac_analysis(&setup.circuit, setup.source, &[f]).expect("ac");
+        let simulated = ac.voltage(0, setup.far);
+        let exact = setup
+            .dil
+            .transfer_function(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
+        (simulated - exact).abs() / exact.abs()
+    };
+    let e4 = error_at(4);
+    let e16 = error_at(16);
+    let e64 = error_at(64);
+    assert!(e16 < e4, "16 sections ({e16}) not better than 4 ({e4})");
+    assert!(e64 < e16, "64 sections ({e64}) not better than 16 ({e16})");
+    assert!(e64 < 5e-3, "64-section error still {e64}");
+}
+
+#[test]
+fn dc_gain_is_unity_in_both_routes() {
+    let setup = build(3.0, 16);
+    let ac = ac_analysis(&setup.circuit, setup.source, &[1.0]).expect("ac");
+    let simulated = ac.voltage(0, setup.far);
+    assert!((simulated.abs() - 1.0).abs() < 1e-3, "|H| at 1 Hz = {}", simulated.abs());
+    let exact = setup.dil.transfer_function(Complex::new(0.0, 2.0 * std::f64::consts::PI));
+    assert!((exact.abs() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn underdamped_peaking_appears_in_both_routes() {
+    // With substantial inductance both routes must show the same
+    // resonant peaking (|H| > 1 somewhere below the roll-off).
+    let setup = build(4.0, 48);
+    let f_scale = 1.0 / (2.0 * std::f64::consts::PI * setup.dil.b1());
+    let freqs: Vec<f64> = (1..=30).map(|i| f_scale * i as f64 / 10.0).collect();
+    let ac = ac_analysis(&setup.circuit, setup.source, &freqs).expect("ac");
+    let peak_sim = ac
+        .magnitude(setup.far)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    let peak_exact = freqs
+        .iter()
+        .map(|&f| {
+            setup
+                .dil
+                .transfer_function(Complex::new(0.0, 2.0 * std::f64::consts::PI * f))
+                .abs()
+        })
+        .fold(0.0f64, f64::max);
+    assert!(peak_sim > 1.05, "no peaking in simulation ({peak_sim})");
+    assert!(peak_exact > 1.05, "no peaking in exact response ({peak_exact})");
+    assert!(
+        (peak_sim - peak_exact).abs() / peak_exact < 0.1,
+        "peaks disagree: {peak_sim} vs {peak_exact}"
+    );
+}

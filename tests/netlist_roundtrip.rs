@@ -1,0 +1,147 @@
+//! Netlist-parser round trip: a deck describing the paper's
+//! driver–line–load experiment must simulate identically to the same
+//! circuit built through the programmatic API.
+
+use rlckit_spice::measure::{delay_between, Edge};
+use rlckit_spice::parse::parse_netlist_for_node;
+use rlckit_spice::transient::{simulate, TransientOptions};
+use rlckit_tech::TechNode;
+
+/// A five-section 100 nm line segment at l = 2 nH/mm, as a SPICE deck.
+/// (R = 4.4 Ω/mm · 2.22 mm, L = 2 nH/mm · 2.22 mm, C = 123.33 pF/m ·
+/// 2.22 mm per section; driver R_S = 7534/528 Ω, C_P/C_L per Table 1.)
+const DECK: &str = "\
+* 100nm driver-line-load, 11.1 mm in 5 sections
+VIN src 0 PWL(0 0 20p 0 21p 1.2)
+RS src drv 14.269
+CP drv 0 1943f
+* section 1
+R1 drv n1 9.768
+L1 n1 n2 4.44n
+C1 n2 0 273.8f
+* section 2
+R2 n2 n3 9.768
+L2 n3 n4 4.44n
+C2 n4 0 273.8f
+* section 3
+R3 n4 n5 9.768
+L3 n5 n6 4.44n
+C3 n6 0 273.8f
+* section 4
+R4 n6 n7 9.768
+L4 n7 n8 4.44n
+C4 n8 0 273.8f
+* section 5
+R5 n8 n9 9.768
+L5 n9 far 4.44n
+C5 far 0 273.8f
+CL far 0 400.2f
+.END
+";
+
+#[test]
+fn parsed_deck_simulates_like_the_programmatic_circuit() {
+    let node = TechNode::nm100();
+    let parsed = parse_netlist_for_node(DECK, &node).expect("parse");
+    assert_eq!(parsed.circuit.elements().len(), 19);
+
+    let src = parsed.node("src").expect("src node");
+    let far = parsed.node("far").expect("far node");
+    let res = simulate(&parsed.circuit, &TransientOptions::new(1.5e-9, 1e-12)).expect("sim");
+    let parsed_delay = delay_between(
+        res.times(),
+        res.voltage(src),
+        res.voltage(far),
+        0.6,
+        Edge::Rising,
+        Edge::Falling,
+    )
+    .or_else(|| {
+        delay_between(
+            res.times(),
+            res.voltage(src),
+            res.voltage(far),
+            0.6,
+            Edge::Rising,
+            Edge::Rising,
+        )
+    })
+    .expect("delay measured");
+
+    // The same structure built programmatically.
+    use rlckit_spice::builders::{rlc_ladder, LadderLine};
+    use rlckit_spice::waveform::Waveform;
+    use rlckit_spice::Circuit;
+    let mut ckt = Circuit::new();
+    let src2 = ckt.add_node("src");
+    let drv2 = ckt.add_node("drv");
+    let far2 = ckt.add_node("far");
+    ckt.voltage_source(
+        src2,
+        Circuit::GROUND,
+        Waveform::Pwl(vec![(0.0, 0.0), (20e-12, 0.0), (21e-12, 1.2)]),
+    );
+    ckt.resistor(src2, drv2, 14.269);
+    ckt.capacitor(drv2, Circuit::GROUND, 1943e-15);
+    rlc_ladder(
+        &mut ckt,
+        drv2,
+        far2,
+        LadderLine {
+            r_per_m: 4400.0,
+            l_per_m: 2e-6,
+            c_per_m: 123.33e-12,
+        },
+        rlckit_units::Meters::from_milli(11.1),
+        5,
+    );
+    ckt.capacitor(far2, Circuit::GROUND, 400.2e-15);
+    let res2 = simulate(&ckt, &TransientOptions::new(1.5e-9, 1e-12)).expect("sim");
+    let api_delay = delay_between(
+        res2.times(),
+        res2.voltage(src2),
+        res2.voltage(far2),
+        0.6,
+        Edge::Rising,
+        Edge::Rising,
+    )
+    .expect("delay measured");
+
+    // The deck uses L-sections with end caps placed slightly differently
+    // from the builder's π-ladder, so allow a few percent.
+    let err = (parsed_delay - api_delay).abs() / api_delay;
+    assert!(
+        err < 0.10,
+        "deck {parsed_delay:e} vs api {api_delay:e} ({:.1}% apart)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn parsed_inverter_ring_oscillates() {
+    // A three-stage minimum ring written as a deck (no lines): sanity for
+    // the MOSFET cards end to end.
+    let node = TechNode::nm100();
+    let deck = "\
+VDD vdd 0 1.2
+M1N a c 0 0 NMOS W=8
+M1P a c vdd vdd PMOS W=8
+M2N b a 0 0 NMOS W=8
+M2P b a vdd vdd PMOS W=8
+M3N c b 0 0 NMOS W=8
+M3P c b vdd vdd PMOS W=8
+C1 a 0 50f
+C2 b 0 50f
+C3 c 0 50f
+";
+    let parsed = parse_netlist_for_node(deck, &node).expect("parse");
+    let a = parsed.node("a").expect("node a");
+    let opts = TransientOptions::new(6e-9, 2e-12).with_initial_voltage(a, 0.0);
+    let res = simulate(&parsed.circuit, &opts).expect("sim");
+    let v = res.voltage(a);
+    let swing = v.iter().cloned().fold(f64::MIN, f64::max)
+        - v.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(swing > 1.0, "ring did not oscillate (swing {swing})");
+    let period = rlckit_spice::measure::oscillation_period(res.times(), v, 0.6, 0.6);
+    assert!(period.is_some(), "no period detected");
+}
