@@ -7,10 +7,10 @@
 //! * RLC-ladder section count (simulator fidelity knob);
 //! * transient integration method (trapezoidal vs. backward Euler).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use rlckit::optimizer::{optimize_rlc, optimize_rlc_direct, segment_structure, OptimizerOptions};
+use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_spice::builders::{rlc_ladder, LadderLine};
 use rlckit_spice::transient::{simulate, AdaptiveOptions, Method, TransientOptions};
 use rlckit_spice::waveform::Waveform;
@@ -31,7 +31,7 @@ fn dil_100(l_nh: f64) -> rlckit_tline::DriverInterconnectLoad {
     segment_structure(&line, &node.driver(), Meters::from_milli(11.1), 528.0)
 }
 
-fn bench_model_order(c: &mut Criterion) {
+fn bench_model_order(h: &mut Harness) {
     let dil = dil_100(1.5);
     // Accuracy audit against the exact oracle.
     let exact = exact_delay(&dil, 0.5).expect("oracle").get();
@@ -39,47 +39,33 @@ fn bench_model_order(c: &mut Criterion) {
     let err2 = (two_pole - exact).abs() / exact;
     assert!(err2 < 0.15, "two-pole error {err2}");
 
-    let mut group = c.benchmark_group("ablation/model");
-    group.bench_function("two_pole_delay", |b| {
-        b.iter(|| black_box(dil.two_pole().delay(0.5).expect("delay")));
+    h.bench("model_two_pole_delay", || {
+        black_box(dil.two_pole().delay(0.5).expect("delay"))
     });
-    group.bench_function("awe_order2_delay", |b| {
-        b.iter(|| {
-            let model = ReducedModel::from_structure(&dil, 2).expect("stable at order 2");
-            black_box(model.delay(0.5).expect("delay"))
-        });
+    h.bench("model_awe_order2_delay", || {
+        let model = ReducedModel::from_structure(&dil, 2).expect("stable at order 2");
+        black_box(model.delay(0.5).expect("delay"))
     });
-    group.sample_size(20);
-    group.bench_function("exact_ilt_delay", |b| {
-        b.iter(|| black_box(exact_delay(&dil, 0.5).expect("oracle")));
+    h.bench_with("model_exact_ilt_delay", &BenchOptions::with_samples(20), || {
+        black_box(exact_delay(&dil, 0.5).expect("oracle"))
     });
-    group.finish();
 }
 
-fn bench_newton_vs_derivative_free(c: &mut Criterion) {
+fn bench_newton_vs_derivative_free(h: &mut Harness) {
     let node = TechNode::nm250();
     let line = LineRlc::new(
         node.line().resistance,
         HenriesPerMeter::from_nano_per_milli(1.5),
         node.line().capacitance,
     );
-    let mut group = c.benchmark_group("ablation/optimizer");
-    group.bench_function("analytic_newton", |b| {
-        b.iter(|| {
-            black_box(
-                optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"),
-            )
-        });
+    h.bench("optimizer_analytic_newton", || {
+        black_box(optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"))
     });
-    group.bench_function("derivative_free", |b| {
-        b.iter(|| {
-            black_box(
-                optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default())
-                    .expect("opt"),
-            )
-        });
+    h.bench("optimizer_derivative_free", || {
+        black_box(
+            optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default()).expect("opt"),
+        )
     });
-    group.finish();
 }
 
 fn ladder_step_response(segments: usize, method: Method) -> f64 {
@@ -110,34 +96,26 @@ fn ladder_step_response(segments: usize, method: Method) -> f64 {
     *res.voltage(far).last().expect("samples")
 }
 
-fn bench_ladder_fidelity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/ladder_segments");
-    group.sample_size(15);
+fn bench_ladder_fidelity(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(15);
     for segments in [4usize, 8, 16, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(segments),
-            &segments,
-            |b, &segments| {
-                b.iter(|| black_box(ladder_step_response(segments, Method::Trapezoidal)));
-            },
-        );
+        h.bench_with(&format!("ladder_segments_{segments}"), &opts, || {
+            black_box(ladder_step_response(segments, Method::Trapezoidal))
+        });
     }
-    group.finish();
 }
 
-fn bench_integration_method(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/integration");
-    group.sample_size(15);
-    group.bench_function("trapezoidal", |b| {
-        b.iter(|| black_box(ladder_step_response(8, Method::Trapezoidal)));
+fn bench_integration_method(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(15);
+    h.bench_with("integration_trapezoidal", &opts, || {
+        black_box(ladder_step_response(8, Method::Trapezoidal))
     });
-    group.bench_function("backward_euler", |b| {
-        b.iter(|| black_box(ladder_step_response(8, Method::BackwardEuler)));
+    h.bench_with("integration_backward_euler", &opts, || {
+        black_box(ladder_step_response(8, Method::BackwardEuler))
     });
-    group.finish();
 }
 
-fn bench_adaptive_stepping(c: &mut Criterion) {
+fn bench_adaptive_stepping(h: &mut Harness) {
     // Fixed vs LTE-controlled stepping on the same ladder transient:
     // the controller should win wall-clock on the long quiet tail.
     let build = || {
@@ -162,28 +140,29 @@ fn bench_adaptive_stepping(c: &mut Criterion) {
         ckt.capacitor(far, Circuit::GROUND, 400e-15);
         ckt
     };
-    let mut group = c.benchmark_group("ablation/stepping");
-    group.sample_size(15);
-    group.bench_function("fixed", |b| {
+    let opts = BenchOptions::with_samples(15);
+    {
         let ckt = build();
-        let opts = TransientOptions::new(4e-9, 1e-12);
-        b.iter(|| black_box(simulate(&ckt, &opts).expect("transient")));
-    });
-    group.bench_function("adaptive", |b| {
+        let topts = TransientOptions::new(4e-9, 1e-12);
+        h.bench_with("stepping_fixed", &opts, || {
+            black_box(simulate(&ckt, &topts).expect("transient"))
+        });
+    }
+    {
         let ckt = build();
-        let opts =
-            TransientOptions::new(4e-9, 1e-12).with_adaptive(AdaptiveOptions::around(1e-12));
-        b.iter(|| black_box(simulate(&ckt, &opts).expect("transient")));
-    });
-    group.finish();
+        let topts = TransientOptions::new(4e-9, 1e-12).with_adaptive(AdaptiveOptions::around(1e-12));
+        h.bench_with("stepping_adaptive", &opts, || {
+            black_box(simulate(&ckt, &topts).expect("transient"))
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_model_order,
-    bench_newton_vs_derivative_free,
-    bench_ladder_fidelity,
-    bench_integration_method,
-    bench_adaptive_stepping
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("ablation");
+    bench_model_order(&mut h);
+    bench_newton_vs_derivative_free(&mut h);
+    bench_ladder_fidelity(&mut h);
+    bench_integration_method(&mut h);
+    bench_adaptive_stepping(&mut h);
+    h.finish();
+}

@@ -3,11 +3,11 @@
 //! they break, which is the paper's argument). The accuracy assertions
 //! run once before timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rlckit::baselines::{ismail_friedman_optimum, km_delay};
 use rlckit::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
+use rlckit_bench::timer::Harness;
 use rlckit_tech::TechNode;
 use rlckit_tline::LineRlc;
 use rlckit_units::{HenriesPerMeter, Meters};
@@ -20,7 +20,7 @@ fn line_for(node: &TechNode, l_nh: f64) -> LineRlc {
     )
 }
 
-fn bench_km_vs_exact(c: &mut Criterion) {
+fn bench_km_vs_exact(h: &mut Harness) {
     let node = TechNode::nm100();
     // Accuracy audit: near the critical inductance the KM fallback is
     // blind to l; the exact solve is not.
@@ -39,17 +39,13 @@ fn bench_km_vs_exact(c: &mut Criterion) {
         "km sensitivity {km_moves} should be far below exact {exact_moves} near criticality"
     );
 
-    let mut group = c.benchmark_group("baselines");
-    group.bench_function("km_delay", |b| {
-        b.iter(|| black_box(km_delay(&tp_a, 0.5).expect("km")));
+    h.bench("km_delay", || black_box(km_delay(&tp_a, 0.5).expect("km")));
+    h.bench("exact_two_pole_delay", || {
+        black_box(tp_a.delay(0.5).expect("delay"))
     });
-    group.bench_function("exact_two_pole_delay", |b| {
-        b.iter(|| black_box(tp_a.delay(0.5).expect("delay")));
-    });
-    group.finish();
 }
 
-fn bench_if_fit_vs_newton(c: &mut Criterion) {
+fn bench_if_fit_vs_newton(h: &mut Harness) {
     let node = TechNode::nm100();
     let line = line_for(&node, 2.0);
 
@@ -66,19 +62,17 @@ fn bench_if_fit_vs_newton(c: &mut Criterion) {
         "the fit cannot beat the optimum"
     );
 
-    let mut group = c.benchmark_group("baselines");
-    group.bench_function("ismail_friedman_fit", |b| {
-        b.iter(|| black_box(ismail_friedman_optimum(&line, &node.driver())));
+    h.bench("ismail_friedman_fit", || {
+        black_box(ismail_friedman_optimum(&line, &node.driver()))
     });
-    group.bench_function("rigorous_newton_optimum", |b| {
-        b.iter(|| {
-            black_box(
-                optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"),
-            )
-        });
+    h.bench("rigorous_newton_optimum", || {
+        black_box(optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("opt"))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_km_vs_exact, bench_if_fit_vs_newton);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("baselines");
+    bench_km_vs_exact(&mut h);
+    bench_if_fit_vs_newton(&mut h);
+    h.finish();
+}

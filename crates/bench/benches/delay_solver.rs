@@ -4,12 +4,11 @@
 //! These benches quantify that: sub-microsecond cost per delay across
 //! all damping regimes and thresholds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rlckit::optimizer::segment_structure;
+use rlckit_bench::timer::Harness;
+use rlckit_numeric::rng::Rng;
 use rlckit_tech::TechNode;
 use rlckit_tline::{LineRlc, TwoPole};
 use rlckit_units::{HenriesPerMeter, Meters};
@@ -24,47 +23,47 @@ fn two_pole_for(l_nh: f64) -> TwoPole {
     segment_structure(&line, &node.driver(), Meters::from_milli(11.1), 528.0).two_pole()
 }
 
-fn bench_delay_regimes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("delay_solver");
+fn bench_delay_regimes(h: &mut Harness) {
     for (name, l) in [("overdamped", 0.0), ("near_critical", 0.45), ("underdamped", 3.0)] {
         let tp = two_pole_for(l);
-        group.bench_function(format!("fifty_percent_{name}"), |b| {
-            b.iter(|| black_box(tp.delay(black_box(0.5)).expect("delay")));
+        h.bench(&format!("fifty_percent_{name}"), || {
+            black_box(tp.delay(black_box(0.5)).expect("delay"))
         });
     }
     let tp = two_pole_for(1.0);
     for f in [0.1, 0.9] {
-        group.bench_function(format!("threshold_{f}"), |b| {
-            b.iter(|| black_box(tp.delay(black_box(f)).expect("delay")));
+        h.bench(&format!("threshold_{f}"), || {
+            black_box(tp.delay(black_box(f)).expect("delay"))
         });
     }
-    group.finish();
 }
 
-fn bench_delay_random_configs(c: &mut Criterion) {
-    // The paper's "all cases" claim: random (h, k, l) draws.
+fn bench_delay_random_configs(h: &mut Harness) {
+    // The paper's "all cases" claim: random (h, k, l) draws, generated
+    // once up front so the timed loop measures only the solve.
     let node = TechNode::nm100();
-    let mut rng = StdRng::seed_from_u64(0x5eed);
-    c.bench_function("delay_solver/random_configs", |b| {
-        b.iter_batched(
-            || {
-                let l = rng.gen_range(0.0..5.0);
-                let h = rng.gen_range(3.0..30.0);
-                let k = rng.gen_range(50.0..1500.0);
-                let line = LineRlc::new(
-                    node.line().resistance,
-                    HenriesPerMeter::from_nano_per_milli(l),
-                    node.line().capacitance,
-                );
-                segment_structure(&line, &node.driver(), Meters::from_milli(h), k).two_pole()
-            },
-            |tp| black_box(tp.delay(0.5).expect("delay")),
-            BatchSize::SmallInput,
-        );
+    let mut rng = Rng::new(0x5eed);
+    let pool: Vec<TwoPole> = (0..256)
+        .map(|_| {
+            let l = rng.uniform(0.0, 5.0);
+            let h_mm = rng.uniform(3.0, 30.0);
+            let k = rng.uniform(50.0, 1500.0);
+            let line = LineRlc::new(
+                node.line().resistance,
+                HenriesPerMeter::from_nano_per_milli(l),
+                node.line().capacitance,
+            );
+            segment_structure(&line, &node.driver(), Meters::from_milli(h_mm), k).two_pole()
+        })
+        .collect();
+    let mut i = 0usize;
+    h.bench("random_configs", move || {
+        i = (i + 1) % pool.len();
+        black_box(pool[i].delay(0.5).expect("delay"))
     });
 }
 
-fn bench_iteration_counts(c: &mut Criterion) {
+fn bench_iteration_counts(h: &mut Harness) {
     // Not only a timing bench: assert the paper's iteration claim holds
     // over a broad sample while measuring the combined cost.
     let node = TechNode::nm250();
@@ -83,19 +82,17 @@ fn bench_iteration_counts(c: &mut Criterion) {
         let (_, iterations) = tp.delay_with_iterations(0.5).expect("delay");
         assert!(iterations <= 8, "delay took {iterations} iterations");
     }
-    c.bench_function("delay_solver/sweep_64_configs", |b| {
-        b.iter(|| {
-            for tp in &samples {
-                black_box(tp.delay(0.5).expect("delay"));
-            }
-        });
+    h.bench("sweep_64_configs", || {
+        for tp in &samples {
+            black_box(tp.delay(0.5).expect("delay"));
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_delay_regimes,
-    bench_delay_random_configs,
-    bench_iteration_counts
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("delay_solver");
+    bench_delay_regimes(&mut h);
+    bench_delay_random_configs(&mut h);
+    bench_iteration_counts(&mut h);
+    h.finish();
+}

@@ -3,9 +3,9 @@
 //! nanosecond-cheap, which is what makes exploring the paper's `l`
 //! uncertainty band interactive.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rlckit_bench::timer::Harness;
 use rlckit_extract::capacitance::{total_line_capacitance, NeighborActivity};
 use rlckit_extract::geometry::{Material, WireGeometry};
 use rlckit_extract::inductance::{
@@ -23,48 +23,46 @@ fn table1_wire() -> WireGeometry {
     )
 }
 
-fn bench_extraction_models(c: &mut Criterion) {
+fn bench_extraction_models(h: &mut Harness) {
     let wire = table1_wire();
-    let mut group = c.benchmark_group("extraction");
-    group.bench_function("resistance", |b| {
-        b.iter(|| black_box(resistance_per_length(&wire, Material::COPPER_INTERCONNECT)));
+    h.bench("resistance", || {
+        black_box(resistance_per_length(&wire, Material::COPPER_INTERCONNECT))
     });
-    group.bench_function("capacitance_total", |b| {
-        b.iter(|| {
-            black_box(total_line_capacitance(
-                &wire,
-                black_box(3.3),
-                NeighborActivity::Quiet,
-            ))
-        });
+    h.bench("capacitance_total", || {
+        black_box(total_line_capacitance(
+            &wire,
+            black_box(3.3),
+            NeighborActivity::Quiet,
+        ))
     });
-    group.bench_function("partial_self_inductance", |b| {
-        b.iter(|| black_box(partial_self_inductance(&wire, Meters::from_milli(10.0))));
+    h.bench("partial_self_inductance", || {
+        black_box(partial_self_inductance(&wire, Meters::from_milli(10.0)))
     });
-    group.bench_function("loop_inductance_microstrip", |b| {
-        b.iter(|| black_box(microstrip_loop_inductance(&wire)));
+    h.bench("loop_inductance_microstrip", || {
+        black_box(microstrip_loop_inductance(&wire))
     });
-    group.bench_function("loop_inductance_two_wire", |b| {
-        b.iter(|| black_box(two_wire_loop_inductance(&wire, Meters::from_micro(500.0))));
+    h.bench("loop_inductance_two_wire", || {
+        black_box(two_wire_loop_inductance(&wire, Meters::from_micro(500.0)))
     });
-    group.finish();
 }
 
-fn bench_full_corner_scan(c: &mut Criterion) {
+fn bench_full_corner_scan(h: &mut Harness) {
     // A realistic use: scan 1000 return-path distances to build the
     // l-uncertainty band that the optimizer then sweeps.
     let wire = table1_wire();
-    c.bench_function("extraction/return_path_scan_1000", |b| {
-        b.iter(|| {
-            let mut worst: f64 = 0.0;
-            for i in 1..=1000 {
-                let d = Meters::from_micro(5.0 + i as f64 * 10.0);
-                worst = worst.max(two_wire_loop_inductance(&wire, d).get());
-            }
-            black_box(worst)
-        });
+    h.bench("return_path_scan_1000", || {
+        let mut worst: f64 = 0.0;
+        for i in 1..=1000 {
+            let d = Meters::from_micro(5.0 + i as f64 * 10.0);
+            worst = worst.max(two_wire_loop_inductance(&wire, d).get());
+        }
+        black_box(worst)
     });
 }
 
-criterion_group!(benches, bench_extraction_models, bench_full_corner_scan);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("extraction");
+    bench_extraction_models(&mut h);
+    bench_full_corner_scan(&mut h);
+    h.finish();
+}

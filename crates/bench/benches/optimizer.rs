@@ -3,10 +3,10 @@
 //! "in less than six iterations in all cases", against the
 //! derivative-free Nelder–Mead reference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rlckit::optimizer::{optimize_rlc, optimize_rlc_direct, OptimizerOptions};
+use rlckit_bench::timer::Harness;
 use rlckit_tech::TechNode;
 use rlckit_tline::LineRlc;
 use rlckit_units::HenriesPerMeter;
@@ -19,32 +19,26 @@ fn line_for(node: &TechNode, l_nh: f64) -> LineRlc {
     )
 }
 
-fn bench_newton_vs_direct(c: &mut Criterion) {
+fn bench_newton_vs_direct(h: &mut Harness) {
     let node = TechNode::nm100();
-    let mut group = c.benchmark_group("optimizer");
     for l in [0.0, 1.0, 3.0] {
         let line = line_for(&node, l);
-        group.bench_function(format!("newton_l{l}"), |b| {
-            b.iter(|| {
-                black_box(
-                    optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
-                        .expect("optimum"),
-                )
-            });
+        h.bench(&format!("newton_l{l}"), || {
+            black_box(
+                optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
+                    .expect("optimum"),
+            )
         });
-        group.bench_function(format!("nelder_mead_l{l}"), |b| {
-            b.iter(|| {
-                black_box(
-                    optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default())
-                        .expect("optimum"),
-                )
-            });
+        h.bench(&format!("nelder_mead_l{l}"), || {
+            black_box(
+                optimize_rlc_direct(&line, &node.driver(), OptimizerOptions::default())
+                    .expect("optimum"),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_iteration_claim(c: &mut Criterion) {
+fn bench_iteration_claim(h: &mut Harness) {
     // The paper's ≤6-iterations claim across the full sweep (we allow a
     // small damping margin).
     let node = TechNode::nm250();
@@ -56,15 +50,16 @@ fn bench_iteration_claim(c: &mut Criterion) {
         assert!(opt.iterations <= 15, "l={l}: {} iterations", opt.iterations);
     }
     let line = line_for(&node, 2.0);
-    c.bench_function("optimizer/single_point_250nm", |b| {
-        b.iter(|| {
-            black_box(
-                optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
-                    .expect("optimum"),
-            )
-        });
+    h.bench("single_point_250nm", || {
+        black_box(
+            optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("optimum"),
+        )
     });
 }
 
-criterion_group!(benches, bench_newton_vs_direct, bench_iteration_claim);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("optimizer");
+    bench_newton_vs_direct(&mut h);
+    bench_iteration_claim(&mut h);
+    h.finish();
+}

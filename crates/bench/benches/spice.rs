@@ -2,9 +2,9 @@
 //! structures behind Figs. 9–12 (RLC ladder steps, ring-oscillator
 //! revolution) and the sparse-LU kernel underneath.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_numeric::sparse::TripletMatrix;
 use rlckit_spice::builders::{ring_oscillator, rlc_ladder, LadderLine};
 use rlckit_spice::transient::{simulate, TransientOptions};
@@ -13,63 +13,52 @@ use rlckit_spice::Circuit;
 use rlckit_tech::TechNode;
 use rlckit_units::Meters;
 
-fn bench_ladder_transient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spice/ladder_transient");
-    group.sample_size(20);
+fn bench_ladder_transient(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(20);
     for segments in [8usize, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(segments),
-            &segments,
-            |b, &segments| {
-                b.iter(|| {
-                    let mut ckt = Circuit::new();
-                    let src = ckt.add_node("src");
-                    let drv = ckt.add_node("drv");
-                    let far = ckt.add_node("far");
-                    ckt.voltage_source(
-                        src,
-                        Circuit::GROUND,
-                        Waveform::step(0.0, 1.2, 10e-12, 1e-12),
-                    );
-                    ckt.resistor(src, drv, 14.3);
-                    rlc_ladder(
-                        &mut ckt,
-                        drv,
-                        far,
-                        LadderLine {
-                            r_per_m: 4400.0,
-                            l_per_m: 1.8e-6,
-                            c_per_m: 123.33e-12,
-                        },
-                        Meters::from_milli(11.1),
-                        segments,
-                    );
-                    ckt.capacitor(far, Circuit::GROUND, 400e-15);
-                    black_box(
-                        simulate(&ckt, &TransientOptions::new(1e-9, 1e-12)).expect("transient"),
-                    )
-                });
-            },
-        );
+        h.bench_with(&format!("ladder_transient_{segments}"), &opts, || {
+            let mut ckt = Circuit::new();
+            let src = ckt.add_node("src");
+            let drv = ckt.add_node("drv");
+            let far = ckt.add_node("far");
+            ckt.voltage_source(
+                src,
+                Circuit::GROUND,
+                Waveform::step(0.0, 1.2, 10e-12, 1e-12),
+            );
+            ckt.resistor(src, drv, 14.3);
+            rlc_ladder(
+                &mut ckt,
+                drv,
+                far,
+                LadderLine {
+                    r_per_m: 4400.0,
+                    l_per_m: 1.8e-6,
+                    c_per_m: 123.33e-12,
+                },
+                Meters::from_milli(11.1),
+                segments,
+            );
+            ckt.capacitor(far, Circuit::GROUND, 400e-15);
+            black_box(simulate(&ckt, &TransientOptions::new(1e-9, 1e-12)).expect("transient"))
+        });
     }
-    group.finish();
 }
 
-fn bench_ring_oscillator_revolution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spice");
-    group.sample_size(10);
-    group.bench_function("ring_oscillator_one_revolution", |b| {
-        let node = TechNode::nm100();
-        let ro = ring_oscillator(&node, 1.8e-6, 528.0, Meters::from_milli(11.1), 5, 8);
-        let period0 = 2.0 * 5.0 * 105.94e-12;
-        let opts = TransientOptions::new(period0, period0 / 600.0)
-            .with_initial_voltage(ro.stage_inputs[0], 0.0);
-        b.iter(|| black_box(simulate(&ro.circuit, &opts).expect("transient")));
-    });
-    group.finish();
+fn bench_ring_oscillator_revolution(h: &mut Harness) {
+    let node = TechNode::nm100();
+    let ro = ring_oscillator(&node, 1.8e-6, 528.0, Meters::from_milli(11.1), 5, 8);
+    let period0 = 2.0 * 5.0 * 105.94e-12;
+    let opts = TransientOptions::new(period0, period0 / 600.0)
+        .with_initial_voltage(ro.stage_inputs[0], 0.0);
+    h.bench_with(
+        "ring_oscillator_one_revolution",
+        &BenchOptions::with_samples(10),
+        || black_box(simulate(&ro.circuit, &opts).expect("transient")),
+    );
 }
 
-fn bench_sparse_lu_kernel(c: &mut Criterion) {
+fn bench_sparse_lu_kernel(h: &mut Harness) {
     // The inner kernel: factor + solve of an MNA-shaped matrix.
     let n = 200;
     let mut t = TripletMatrix::new(n);
@@ -84,18 +73,16 @@ fn bench_sparse_lu_kernel(c: &mut Criterion) {
     t.push(n - 1, 0, -0.5);
     let csr = t.to_csr();
     let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-    c.bench_function("spice/sparse_lu_200", |b| {
-        b.iter(|| {
-            let lu = csr.lu().expect("factor");
-            black_box(lu.solve(&rhs).expect("solve"))
-        });
+    h.bench("sparse_lu_200", || {
+        let lu = csr.lu().expect("factor");
+        black_box(lu.solve(&rhs).expect("solve"))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_ladder_transient,
-    bench_ring_oscillator_revolution,
-    bench_sparse_lu_kernel
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("spice");
+    bench_ladder_transient(&mut h);
+    bench_ring_oscillator_revolution(&mut h);
+    bench_sparse_lu_kernel(&mut h);
+    h.finish();
+}

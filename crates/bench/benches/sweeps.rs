@@ -2,35 +2,33 @@
 //! per-point optimization pipeline that regenerates the paper's
 //! evaluation curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use rlckit::sweeps::{delay_ratio_series, standard_node_sweep};
+use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_tech::TechNode;
 
-fn bench_standard_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sweeps");
-    group.sample_size(20);
+fn bench_standard_sweep(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(20);
     for points in [5usize, 25] {
-        group.bench_with_input(
-            BenchmarkId::new("standard_100nm", points),
-            &points,
-            |b, &points| {
-                let node = TechNode::nm100();
-                b.iter(|| black_box(standard_node_sweep(&node, points).expect("sweep")));
-            },
-        );
+        let node = TechNode::nm100();
+        h.bench_with(&format!("standard_100nm_{points}"), &opts, || {
+            black_box(standard_node_sweep(&node, points).expect("sweep"))
+        });
     }
-    group.finish();
 }
 
-fn bench_figure_series(c: &mut Criterion) {
+fn bench_figure_series(h: &mut Harness) {
     let node = TechNode::nm250();
     let sweep = standard_node_sweep(&node, 25).expect("sweep");
-    c.bench_function("sweeps/fig7_series_from_sweep", |b| {
-        b.iter(|| black_box(delay_ratio_series(black_box(&sweep))));
+    h.bench("fig7_series_from_sweep", || {
+        black_box(delay_ratio_series(black_box(&sweep)))
     });
 }
 
-criterion_group!(benches, bench_standard_sweep, bench_figure_series);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("sweeps");
+    bench_standard_sweep(&mut h);
+    bench_figure_series(&mut h);
+    h.finish();
+}

@@ -1,78 +1,16 @@
-//! Monte-Carlo version of the paper's §3.2 variation study: the line
-//! inductance is *pattern-dependent* and effectively random per switching
-//! event, so a fixed design faces a delay **distribution**, not a point.
-//!
-//! For each candidate design (RC optimum, RLC optimum at the band
-//! midpoint, RLC optimum at the worst case) we sample `l` from a
-//! triangular distribution over the practical band and report the delay
-//! spread — the jitter a clock/bus designer must margin for.
+//! Monte-Carlo version of the paper's §3.2 variation study — see
+//! `rlckit_bench::variation` for the seeded, reusable flow; this binary
+//! formats its outcome as the usual table/CSV pair.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rlckit::elmore::rc_optimum;
-use rlckit::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
 use rlckit::report::Table;
 use rlckit_bench::emit;
+use rlckit_bench::variation::{run_variation_study, VariationConfig};
 use rlckit_tech::TechNode;
-use rlckit_tline::LineRlc;
-use rlckit_units::{HenriesPerMeter, Meters};
-
-/// Triangular sample on `[lo, hi]` with mode at `mode`.
-fn triangular(rng: &mut StdRng, lo: f64, hi: f64, mode: f64) -> f64 {
-    let u: f64 = rng.gen();
-    let cut = (mode - lo) / (hi - lo);
-    if u < cut {
-        lo + ((hi - lo) * (mode - lo) * u).sqrt()
-    } else {
-        hi - ((hi - lo) * (hi - mode) * (1.0 - u)).sqrt()
-    }
-}
-
-struct Design {
-    name: &'static str,
-    h: Meters,
-    k: f64,
-}
 
 fn main() {
     let node = TechNode::nm100();
-    let (lo, hi, mode) = (0.4, 3.0, 1.2); // nH/mm: the practical band
-    let line_at = |l_nh: f64| {
-        LineRlc::new(
-            node.line().resistance,
-            HenriesPerMeter::from_nano_per_milli(l_nh),
-            node.line().capacitance,
-        )
-    };
-
-    let rc = rc_optimum(&node.line(), &node.driver());
-    let mid = optimize_rlc(&line_at(mode), &node.driver(), OptimizerOptions::default())
-        .expect("mid optimum");
-    let worst = optimize_rlc(&line_at(hi), &node.driver(), OptimizerOptions::default())
-        .expect("worst-case optimum");
-    let designs = [
-        Design {
-            name: "RC optimum (l ignored)",
-            h: rc.segment_length,
-            k: rc.repeater_size,
-        },
-        Design {
-            name: "RLC @ band mode",
-            h: mid.segment_length,
-            k: mid.repeater_size,
-        },
-        Design {
-            name: "RLC @ band max",
-            h: worst.segment_length,
-            k: worst.repeater_size,
-        },
-    ];
-
-    let samples = 4000;
-    let mut rng = StdRng::seed_from_u64(0xd1a1);
-    let draws: Vec<f64> = (0..samples)
-        .map(|_| triangular(&mut rng, lo, hi, mode))
-        .collect();
+    let cfg = VariationConfig::default();
+    let study = run_variation_study(&node, &cfg);
 
     let mut table = Table::new(&[
         "design",
@@ -81,32 +19,21 @@ fn main() {
         "p95 (ps/mm)",
         "p95/mean spread",
     ]);
-    for d in &designs {
-        let mut per_len: Vec<f64> = draws
-            .iter()
-            .map(|&l| {
-                segment_delay(&line_at(l), &node.driver(), d.h, d.k, 0.5)
-                    .expect("delay")
-                    .get()
-                    / d.h.get()
-            })
-            .collect();
-        per_len.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let mean = per_len.iter().sum::<f64>() / per_len.len() as f64;
-        let var = per_len.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / per_len.len() as f64;
-        let p95 = per_len[(0.95 * per_len.len() as f64) as usize];
+    for d in &study.designs {
         table.row(&[
             d.name,
-            &format!("{:.2}", mean * 1e9),
-            &format!("{:.2}", var.sqrt() * 1e9),
-            &format!("{:.2}", p95 * 1e9),
-            &format!("{:.3}", p95 / mean),
+            &format!("{:.2}", d.mean * 1e9),
+            &format!("{:.2}", d.std * 1e9),
+            &format!("{:.2}", d.p95 * 1e9),
+            &format!("{:.3}", d.p95 / d.mean),
         ]);
     }
     emit(
         "variation_monte_carlo",
-        "§3.2 as a distribution — delay per unit length under random l (100 nm, 4000 draws)",
+        &format!(
+            "§3.2 as a distribution — delay per unit length under random l (100 nm, {} draws, seed {:#x})",
+            cfg.samples, cfg.seed
+        ),
         &table,
     );
     println!(

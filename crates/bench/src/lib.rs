@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timer;
+pub mod variation;
+
 use std::fs;
 use std::path::PathBuf;
 

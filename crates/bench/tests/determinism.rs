@@ -1,0 +1,64 @@
+//! The Monte-Carlo variation flow must be a pure function of its seed:
+//! equal seeds give bit-identical draws and summary statistics, and a
+//! different seed actually changes the draws. This is what makes every
+//! measured distribution in the paper reproduction replayable.
+
+use rlckit_bench::variation::{run_variation_study, VariationConfig};
+use rlckit_tech::TechNode;
+
+fn small_config(seed: u64) -> VariationConfig {
+    VariationConfig {
+        samples: 256,
+        seed,
+        ..VariationConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_gives_bit_identical_statistics() {
+    let node = TechNode::nm100();
+    let a = run_variation_study(&node, &small_config(0xd1a1));
+    let b = run_variation_study(&node, &small_config(0xd1a1));
+
+    assert_eq!(a.draws.len(), b.draws.len());
+    for (x, y) in a.draws.iter().zip(&b.draws) {
+        assert_eq!(x.to_bits(), y.to_bits(), "draws must replay bit-for-bit");
+    }
+    assert_eq!(a.designs.len(), b.designs.len());
+    for (da, db) in a.designs.iter().zip(&b.designs) {
+        assert_eq!(da.name, db.name);
+        assert_eq!(da.mean.to_bits(), db.mean.to_bits(), "{}: mean", da.name);
+        assert_eq!(da.std.to_bits(), db.std.to_bits(), "{}: std", da.name);
+        assert_eq!(da.p95.to_bits(), db.p95.to_bits(), "{}: p95", da.name);
+    }
+}
+
+#[test]
+fn different_seed_gives_different_draws() {
+    let node = TechNode::nm100();
+    let a = run_variation_study(&node, &small_config(1));
+    let b = run_variation_study(&node, &small_config(2));
+    let identical = a
+        .draws
+        .iter()
+        .zip(&b.draws)
+        .filter(|(x, y)| x.to_bits() == y.to_bits())
+        .count();
+    assert_eq!(identical, 0, "independent seeds must not replay each other");
+}
+
+#[test]
+fn draws_stay_inside_the_configured_band() {
+    let node = TechNode::nm100();
+    let cfg = small_config(7);
+    let study = run_variation_study(&node, &cfg);
+    assert_eq!(study.draws.len(), cfg.samples);
+    assert!(study
+        .draws
+        .iter()
+        .all(|&l| (cfg.band_lo..=cfg.band_hi).contains(&l)));
+    // The RLC designs must report physically positive spreads.
+    for d in &study.designs {
+        assert!(d.mean > 0.0 && d.std >= 0.0 && d.p95 >= d.mean * 0.5, "{d:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Composable value generators.
+//!
+//! A [`Gen<T>`] is a pure function from a seeded [`Rng`] to a value of
+//! `T`. Generators compose with [`Gen::map`] (the `prop_map` idiom) and
+//! the `tuple*`/[`vec_in`] combinators; because generation is driven
+//! entirely by the per-case seed, any generated input can be reproduced
+//! from that seed alone — no shrinking machinery is needed for replay.
+
+use std::rc::Rc;
+
+use rlckit_numeric::rng::Rng;
+
+/// A composable, deterministic generator of `T` values.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut Rng) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Self {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw sampling function.
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Self { run: Rc::new(f) }
+    }
+
+    /// Draws one value.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Rng) -> T {
+        (self.run)(rng)
+    }
+
+    /// Maps the generated value through `f` (the `prop_map` idiom).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlckit_check::gen;
+    /// use rlckit_numeric::rng::Rng;
+    ///
+    /// let sign = gen::range(-1.0, 1.0).map(f64::signum);
+    /// let v = sign.sample(&mut Rng::new(1));
+    /// assert!(v == 1.0 || v == -1.0);
+    /// ```
+    #[must_use]
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.sample(rng)))
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+#[must_use]
+pub fn range(lo: f64, hi: f64) -> Gen<f64> {
+    Gen::new(move |rng| rng.uniform(lo, hi))
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics (at sample time) if `lo >= hi`.
+#[must_use]
+pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+    Gen::new(move |rng| {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + rng.index(hi - lo)
+    })
+}
+
+/// Always the same value.
+#[must_use]
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// One of the given values, uniformly.
+///
+/// # Panics
+///
+/// Panics (at sample time) if `items` is empty.
+#[must_use]
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    Gen::new(move |rng| items[rng.index(items.len())].clone())
+}
+
+/// A `Vec` of exactly `len` draws from `elem`.
+#[must_use]
+pub fn vec_of<T: 'static>(elem: Gen<T>, len: usize) -> Gen<Vec<T>> {
+    Gen::new(move |rng| (0..len).map(|_| elem.sample(rng)).collect())
+}
+
+/// A `Vec` whose length is uniform in `[min_len, max_len)`.
+#[must_use]
+pub fn vec_in<T: 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    let len = usize_range(min_len, max_len);
+    Gen::new(move |rng| {
+        let n = len.sample(rng);
+        (0..n).map(|_| elem.sample(rng)).collect()
+    })
+}
+
+/// Pairs two generators.
+#[must_use]
+pub fn tuple2<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |rng| (a.sample(rng), b.sample(rng)))
+}
+
+/// Triples three generators.
+#[must_use]
+pub fn tuple3<A: 'static, B: 'static, C: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    Gen::new(move |rng| (a.sample(rng), b.sample(rng), c.sample(rng)))
+}
+
+/// Tuples four generators.
+#[must_use]
+pub fn tuple4<A: 'static, B: 'static, C: 'static, D: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    Gen::new(move |rng| (a.sample(rng), b.sample(rng), c.sample(rng), d.sample(rng)))
+}
+
+/// Tuples five generators.
+#[must_use]
+pub fn tuple5<A: 'static, B: 'static, C: 'static, D: 'static, E: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    Gen::new(move |rng| {
+        (
+            a.sample(rng),
+            b.sample(rng),
+            c.sample(rng),
+            d.sample(rng),
+            e.sample(rng),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_respects_bounds() {
+        let g = range(2.0, 40.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..1_000 {
+            let v = g.sample(&mut rng);
+            assert!((2.0..40.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_respects_bounds() {
+        let g = usize_range(3, 9);
+        let mut rng = Rng::new(2);
+        for _ in 0..1_000 {
+            let v = g.sample(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_composes() {
+        let g = range(1.0, 2.0).map(|v| v * 10.0).map(|v| v as i64);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            let v = g.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn select_only_yields_members() {
+        let g = select(vec!["a", "b", "c"]);
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            assert!(["a", "b", "c"].contains(&g.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn vec_in_length_band() {
+        let g = vec_in(range(0.0, 1.0), 1, 40);
+        let mut rng = Rng::new(5);
+        for _ in 0..200 {
+            let v = g.sample(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuples_draw_in_order_deterministically() {
+        let g = tuple3(range(0.0, 1.0), range(10.0, 11.0), range(20.0, 21.0));
+        let a = g.sample(&mut Rng::new(6));
+        let b = g.sample(&mut Rng::new(6));
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a.0));
+        assert!((10.0..11.0).contains(&a.1));
+        assert!((20.0..21.0).contains(&a.2));
+    }
+}

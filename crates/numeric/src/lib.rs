@@ -21,6 +21,10 @@
 //! * [`ilt`] — numerical inverse Laplace transforms (Abate–Whitt Euler and
 //!   fixed Talbot), the oracle for the two-pole Padé approximation.
 //! * [`grid`] — `linspace`/`logspace` sweep helpers.
+//! * [`rng`] — deterministic xoshiro256++ pseudo-random numbers
+//!   (SplitMix64-seeded) for Monte-Carlo studies, bench workloads and the
+//!   `rlckit-check` property harness; the workspace has no registry
+//!   dependencies, so this replaces `rand`.
 //! * [`stats`] — peak/rms/mean of (possibly non-uniformly) sampled
 //!   waveforms.
 //! * [`fd`] — finite-difference derivative helpers.
@@ -51,6 +55,7 @@ pub mod grid;
 pub mod ilt;
 pub mod minimize;
 pub mod poly;
+pub mod rng;
 pub mod roots;
 pub mod series;
 pub mod sparse;

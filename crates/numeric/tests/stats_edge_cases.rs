@@ -1,0 +1,70 @@
+//! Edge-case coverage for `rlckit_numeric::stats`: the Fig. 12
+//! reliability numbers are time-weighted integrals over possibly
+//! non-uniform simulator output, so the degenerate shapes must be
+//! well-defined.
+
+use rlckit_numeric::stats::{peak_abs, trapezoid_mean, trapezoid_rms};
+
+#[test]
+fn empty_series_are_all_zero() {
+    assert_eq!(peak_abs(&[]), 0.0);
+    assert_eq!(trapezoid_mean(&[], &[]), 0.0);
+    assert_eq!(trapezoid_rms(&[], &[]), 0.0);
+}
+
+#[test]
+fn single_sample_has_no_span() {
+    assert_eq!(trapezoid_mean(&[2.0], &[7.0]), 0.0);
+    assert_eq!(trapezoid_rms(&[2.0], &[7.0]), 0.0);
+    assert_eq!(peak_abs(&[-7.0]), 7.0);
+}
+
+#[test]
+fn zero_span_series_return_zero() {
+    // Two samples at the same instant: span is degenerate.
+    assert_eq!(trapezoid_mean(&[1.0, 1.0], &[3.0, 5.0]), 0.0);
+    assert_eq!(trapezoid_rms(&[1.0, 1.0], &[3.0, 5.0]), 0.0);
+}
+
+#[test]
+fn nonuniform_steps_weight_by_time() {
+    // Value 2 held for 9 time units, then 0 for 1 unit: mean = 1.8.
+    let times = [0.0, 9.0, 9.0 + 1e-12, 10.0];
+    let values = [2.0, 2.0, 0.0, 0.0];
+    assert!((trapezoid_mean(&times, &values) - 1.8).abs() < 1e-6);
+    // rms of the same signal: sqrt(4 * 0.9) = 1.897…
+    assert!((trapezoid_rms(&times, &values) - (3.6f64).sqrt()).abs() < 1e-6);
+}
+
+#[test]
+fn uniform_and_nonuniform_sampling_agree_on_smooth_signals() {
+    // A slow ramp sampled uniformly vs. with jittered steps must give
+    // the same trapezoid integral (the rule is exact for linear data).
+    let uniform_t: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    let jitter_t: Vec<f64> = {
+        let mut t: Vec<f64> = uniform_t.clone();
+        for (i, v) in t.iter_mut().enumerate() {
+            if i > 0 && i < 100 {
+                *v += if i % 2 == 0 { 3e-3 } else { -3e-3 };
+            }
+        }
+        t
+    };
+    let ramp = |ts: &[f64]| -> Vec<f64> { ts.iter().map(|&t| 5.0 * t).collect() };
+    let mu = trapezoid_mean(&uniform_t, &ramp(&uniform_t));
+    let mj = trapezoid_mean(&jitter_t, &ramp(&jitter_t));
+    assert!((mu - 2.5).abs() < 1e-12);
+    assert!((mj - 2.5).abs() < 1e-9);
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn mean_with_mismatched_lengths_panics() {
+    let _ = trapezoid_mean(&[0.0, 1.0, 2.0], &[1.0, 2.0]);
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn rms_with_mismatched_lengths_panics() {
+    let _ = trapezoid_rms(&[0.0, 1.0], &[1.0]);
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate, provably network-free: the workspace is 100 % path
+# dependencies (enforced by tests/hermetic.rs), so everything below runs
+# with --offline and CARGO_NET_OFFLINE as a belt-and-braces guarantee.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline
+# --workspace is a superset of the gate's `cargo test -q`: it also runs
+# every member crate's unit, integration and doc tests.
+cargo test -q --offline --workspace
+
+echo "tier-1 gate: OK"

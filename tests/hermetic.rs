@@ -1,0 +1,219 @@
+//! Hermetic-build guard: the workspace must remain 100 % path-dependency
+//! so `cargo build --offline` can never regress into registry fetches.
+//!
+//! Parses every workspace `Cargo.toml` with a purpose-built minimal
+//! reader (no `toml` crate — that would itself be a registry dependency)
+//! and fails if any `[dependencies]`, `[dev-dependencies]`,
+//! `[build-dependencies]` or `[workspace.dependencies]` entry is not a
+//! `path` dependency (or a `workspace = true` reference to one).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Dependency-like sections whose entries must all be path-only.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).expect("crates/ directory");
+    for entry in entries {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests.sort();
+    assert!(manifests.len() >= 9, "expected the full workspace, found {manifests:?}");
+    manifests
+}
+
+/// Strips a trailing `#` comment (quote-aware enough for Cargo.toml).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Where the line cursor currently is within a manifest.
+enum Cursor {
+    /// A section whose entries need no dependency check.
+    Elsewhere,
+    /// Directly inside one of [`DEP_SECTIONS`]; entries are inline specs.
+    DepSection(String),
+    /// Inside a long-form `[dependencies.<name>]` table; local iff a
+    /// `path` key appears before the table ends.
+    LongForm {
+        section: String,
+        name: String,
+        has_path: bool,
+    },
+}
+
+/// A dependency entry that is not purely local.
+#[derive(Debug)]
+struct Violation {
+    manifest: PathBuf,
+    section: String,
+    entry: String,
+}
+
+/// Scans one manifest for non-path dependency entries.
+fn scan_manifest(manifest: &Path) -> Vec<Violation> {
+    let text = std::fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut violations = Vec::new();
+    let mut cursor = Cursor::Elsewhere;
+
+    let flush_long_form = |cursor: &mut Cursor, violations: &mut Vec<Violation>| {
+        if let Cursor::LongForm {
+            section,
+            name,
+            has_path: false,
+        } = cursor
+        {
+            violations.push(Violation {
+                manifest: manifest.to_path_buf(),
+                section: format!("{section} (long form)"),
+                entry: name.clone(),
+            });
+        }
+    };
+
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_long_form(&mut cursor, &mut violations);
+            let header = line[1..line.len() - 1].trim();
+            cursor = if let Some(section) = DEP_SECTIONS.iter().find(|s| header == **s) {
+                Cursor::DepSection((*section).to_string())
+            } else if let Some((section, name)) = DEP_SECTIONS
+                .iter()
+                .find_map(|s| header.strip_prefix(&format!("{s}.")).map(|n| (*s, n)))
+            {
+                Cursor::LongForm {
+                    section: section.to_string(),
+                    name: name.to_string(),
+                    has_path: false,
+                }
+            } else {
+                Cursor::Elsewhere
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let (key, value) = (key.trim(), value.trim());
+        match &mut cursor {
+            Cursor::Elsewhere => {}
+            Cursor::LongForm { has_path, .. } => {
+                if key == "path" {
+                    *has_path = true;
+                }
+            }
+            Cursor::DepSection(section) => {
+                let is_path = value.contains("path =") || value.contains("path=");
+                // `{ workspace = true }` entries resolve through
+                // `[workspace.dependencies]`, which this same scan forces
+                // to be path-only — so they are local by induction.
+                let is_workspace_ref =
+                    value.contains("workspace = true") || value.contains("workspace=true");
+                if !(is_path || is_workspace_ref) {
+                    violations.push(Violation {
+                        manifest: manifest.to_path_buf(),
+                        section: section.clone(),
+                        entry: key.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    flush_long_form(&mut cursor, &mut violations);
+    violations
+}
+
+#[test]
+fn every_workspace_dependency_is_a_path_dependency() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        violations.extend(scan_manifest(&manifest));
+    }
+    if !violations.is_empty() {
+        let mut msg = String::from(
+            "registry dependencies are forbidden — the build must stay offline-safe \
+             (see README.md, \"Hermetic build\"):\n",
+        );
+        for v in &violations {
+            let _ = writeln!(
+                msg,
+                "  {} [{}] {}",
+                v.manifest.display(),
+                v.section,
+                v.entry
+            );
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn guard_rejects_registry_style_entries() {
+    // Self-test of the scanner on a synthetic manifest, so a parser
+    // regression cannot silently disarm the guard above.
+    let dir = std::env::temp_dir().join("rlckit_hermetic_guard_selftest");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let manifest = dir.join("Cargo.toml");
+    std::fs::write(
+        &manifest,
+        r#"[package]
+name = "x"
+
+[dependencies]
+good = { path = "../good" }
+shared = { workspace = true }
+bad = "1.0"
+worse = { version = "0.5", features = ["std"] }
+
+[dependencies.longform]
+version = "2"
+
+[dev-dependencies]
+alsobad = { git = "https://example.invalid/repo" }
+
+[lib]
+path = "src/lib.rs"
+"#,
+    )
+    .expect("write manifest");
+    let violations = scan_manifest(&manifest);
+    let names: Vec<&str> = violations.iter().map(|v| v.entry.as_str()).collect();
+    assert_eq!(names, ["bad", "worse", "longform", "alsobad"], "{violations:?}");
+
+    // And a fully local manifest passes, including the long form.
+    std::fs::write(
+        &manifest,
+        r#"[dependencies]
+good = { path = "../good" }
+
+[dependencies.longform]
+path = "../longform"
+"#,
+    )
+    .expect("write manifest");
+    assert!(scan_manifest(&manifest).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
