@@ -1,12 +1,21 @@
 //! Benchmarks the figure-generation sweeps (Figs. 4–8): the full
 //! per-point optimization pipeline that regenerates the paper's
-//! evaluation curves.
+//! evaluation curves, plus the serial-vs-parallel campaign baseline
+//! (`rlckit-par`). Speedup entries record the thread count they ran
+//! with, so results from differently-sized hosts stay comparable.
 
 use std::hint::black_box;
 
-use rlckit::sweeps::{delay_ratio_series, standard_node_sweep};
+use rlckit::optimizer::OptimizerOptions;
+use rlckit::sweeps::{delay_ratio_series, inductance_sweep_with, standard_node_sweep};
 use rlckit_bench::timer::{BenchOptions, Harness};
+use rlckit_bench::variation::{run_variation_study_with, VariationConfig};
+use rlckit_par::{available_threads, Parallelism};
 use rlckit_tech::TechNode;
+use rlckit_units::HenriesPerMeter;
+
+/// Inductance-grid size for the serial-vs-parallel campaign baseline.
+const CAMPAIGN_POINTS: usize = 200;
 
 fn bench_standard_sweep(h: &mut Harness) {
     let opts = BenchOptions::with_samples(20);
@@ -26,9 +35,61 @@ fn bench_figure_series(h: &mut Harness) {
     });
 }
 
+fn bench_campaign_parallelism(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(10);
+    let node = TechNode::nm100();
+    let grid: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(0.0, 4.95, CAMPAIGN_POINTS)
+        .into_iter()
+        .map(HenriesPerMeter::from_nano_per_milli)
+        .collect();
+    for (name, policy) in [
+        ("campaign_sweep_serial", Parallelism::Serial),
+        ("campaign_sweep_parallel", Parallelism::Auto),
+    ] {
+        h.bench_with(name, &opts, || {
+            black_box(
+                inductance_sweep_with(
+                    &node.line(),
+                    &node.driver(),
+                    grid.iter().copied(),
+                    OptimizerOptions::default(),
+                    policy,
+                )
+                .expect("sweep"),
+            )
+        });
+    }
+    h.record_speedup(
+        "campaign_sweep_speedup",
+        "campaign_sweep_serial",
+        "campaign_sweep_parallel",
+        &[("threads", available_threads() as f64)],
+    );
+
+    let cfg = VariationConfig {
+        samples: 512,
+        ..VariationConfig::default()
+    };
+    for (name, policy) in [
+        ("monte_carlo_serial", Parallelism::Serial),
+        ("monte_carlo_parallel", Parallelism::Auto),
+    ] {
+        h.bench_with(name, &opts, || {
+            black_box(run_variation_study_with(&node, &cfg, policy))
+        });
+    }
+    h.record_speedup(
+        "monte_carlo_speedup",
+        "monte_carlo_serial",
+        "monte_carlo_parallel",
+        &[("threads", available_threads() as f64)],
+    );
+}
+
 fn main() {
     let mut h = Harness::from_args("sweeps");
     bench_standard_sweep(&mut h);
     bench_figure_series(&mut h);
+    bench_campaign_parallelism(&mut h);
     h.finish();
 }

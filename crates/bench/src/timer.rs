@@ -62,11 +62,18 @@ impl BenchOptions {
     }
 }
 
-/// Summary statistics for one benchmark, in nanoseconds per iteration.
+/// Summary statistics for one benchmark.
+///
+/// For measured benchmarks the four summary fields are nanoseconds per
+/// iteration (`unit == "ns_per_iter"`); for entries derived with
+/// [`Harness::record_speedup`] they are dimensionless baseline/contender
+/// ratios (`unit == "speedup_x"`) and the `_ns` suffix is historical.
 #[derive(Debug, Clone)]
 pub struct Stats {
     /// Benchmark name (unique within its group).
     pub name: String,
+    /// Unit of the four summary fields.
+    pub unit: &'static str,
     /// Fastest sample.
     pub min_ns: f64,
     /// Median sample.
@@ -79,6 +86,9 @@ pub struct Stats {
     pub iters_per_sample: u64,
     /// Number of timed samples.
     pub samples: usize,
+    /// Extra context fields emitted verbatim into the JSON record
+    /// (e.g. `("threads", 4.0)`).
+    pub extra: Vec<(String, f64)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,12 +184,14 @@ impl Harness {
 
         let stats = Stats {
             name: name.to_string(),
+            unit: "ns_per_iter",
             min_ns: samples_ns[0],
             median_ns: percentile(&samples_ns, 0.50),
             p95_ns: percentile(&samples_ns, 0.95),
             mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
             iters_per_sample: iters,
             samples: samples_ns.len(),
+            extra: Vec::new(),
         };
         println!(
             "bench {:<44} min {:>10}  median {:>10}  p95 {:>10}",
@@ -187,6 +199,53 @@ impl Harness {
             format_ns(stats.min_ns),
             format_ns(stats.median_ns),
             format_ns(stats.p95_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Looks up an already-recorded benchmark by exact name.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<&Stats> {
+        self.results.iter().find(|s| s.name == name)
+    }
+
+    /// Records a derived `baseline / contender` speedup entry computed
+    /// from two previously-measured benchmarks in this group, ratioed
+    /// statistic by statistic (min/min, median/median, …). `extra`
+    /// carries context fields such as the thread count into the JSON
+    /// record. A no-op in smoke mode or when either side was filtered
+    /// out (so bench filters keep working).
+    pub fn record_speedup(
+        &mut self,
+        name: &str,
+        baseline: &str,
+        contender: &str,
+        extra: &[(&str, f64)],
+    ) {
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        let (Some(b), Some(c)) = (self.stats(baseline).cloned(), self.stats(contender).cloned())
+        else {
+            return;
+        };
+        let stats = Stats {
+            name: name.to_string(),
+            unit: "speedup_x",
+            min_ns: b.min_ns / c.min_ns,
+            median_ns: b.median_ns / c.median_ns,
+            p95_ns: b.p95_ns / c.p95_ns,
+            mean_ns: b.mean_ns / c.mean_ns,
+            iters_per_sample: c.iters_per_sample,
+            samples: c.samples,
+            extra: extra.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        };
+        println!(
+            "bench {:<44} min {:>9.3}x  median {:>6.3}x  p95 {:>9.3}x",
+            format!("{}/{}", self.group, stats.name),
+            stats.min_ns,
+            stats.median_ns,
+            stats.p95_ns,
         );
         self.results.push(stats);
     }
@@ -200,12 +259,17 @@ impl Harness {
         }
         let mut out = String::new();
         for s in &self.results {
+            let mut extra = String::new();
+            for (k, v) in &s.extra {
+                extra.push_str(&format!(",{}:{v:.3}", json_string(k)));
+            }
             out.push_str(&format!(
-                "{{\"group\":{},\"name\":{},\"unit\":\"ns_per_iter\",\
+                "{{\"group\":{},\"name\":{},\"unit\":{},\
                  \"min\":{:.3},\"median\":{:.3},\"p95\":{:.3},\"mean\":{:.3},\
-                 \"samples\":{},\"iters_per_sample\":{}}}\n",
+                 \"samples\":{},\"iters_per_sample\":{}{extra}}}\n",
                 json_string(&self.group),
                 json_string(&s.name),
+                json_string(s.unit),
                 s.min_ns,
                 s.median_ns,
                 s.p95_ns,
@@ -327,5 +391,58 @@ mod tests {
         assert!(s.min_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
         assert_eq!(s.samples, 5);
+        assert_eq!(s.unit, "ns_per_iter");
+    }
+
+    fn canned(name: &str, scale: f64) -> Stats {
+        Stats {
+            name: name.into(),
+            unit: "ns_per_iter",
+            min_ns: 100.0 * scale,
+            median_ns: 120.0 * scale,
+            p95_ns: 150.0 * scale,
+            mean_ns: 125.0 * scale,
+            iters_per_sample: 10,
+            samples: 5,
+            extra: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_ratios_each_statistic_and_keeps_context() {
+        let mut h = Harness {
+            group: "t".into(),
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            results: vec![canned("serial", 4.0), canned("parallel", 1.0)],
+        };
+        h.record_speedup("speedup", "serial", "parallel", &[("threads", 8.0)]);
+        let s = h.stats("speedup").expect("recorded");
+        assert_eq!(s.unit, "speedup_x");
+        assert!((s.min_ns - 4.0).abs() < 1e-12);
+        assert!((s.median_ns - 4.0).abs() < 1e-12);
+        assert!((s.p95_ns - 4.0).abs() < 1e-12);
+        assert_eq!(s.extra, vec![("threads".to_string(), 8.0)]);
+    }
+
+    #[test]
+    fn speedup_is_a_noop_when_a_side_is_missing_or_in_smoke_mode() {
+        let mut h = Harness {
+            group: "t".into(),
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            results: vec![canned("serial", 1.0)],
+        };
+        h.record_speedup("speedup", "serial", "absent", &[]);
+        assert!(h.stats("speedup").is_none());
+
+        let mut smoke = Harness {
+            group: "t".into(),
+            mode: Mode::Smoke,
+            filters: Vec::new(),
+            results: vec![canned("serial", 2.0), canned("parallel", 1.0)],
+        };
+        smoke.record_speedup("speedup", "serial", "parallel", &[]);
+        assert!(smoke.stats("speedup").is_none());
     }
 }

@@ -11,11 +11,16 @@
 //! The flow is fully deterministic in its seed: the same
 //! [`VariationConfig`] always produces bit-identical draws and summary
 //! statistics, which the determinism test in `tests/determinism.rs`
-//! pins down.
+//! pins down. Each sample evaluates on its own child generator derived
+//! serially from the master seed via [`Rng::split`], so the draw
+//! sequence — and therefore every summary statistic — is independent of
+//! how the evaluation is scheduled: serial and parallel runs are
+//! bit-identical for a given seed.
 
 use rlckit::elmore::rc_optimum;
 use rlckit::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
 use rlckit_numeric::rng::Rng;
+use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::TechNode;
 use rlckit_tline::LineRlc;
 use rlckit_units::{HenriesPerMeter, Meters};
@@ -93,6 +98,24 @@ pub fn triangular(rng: &mut Rng, lo: f64, hi: f64, mode: f64) -> f64 {
 /// parameter ranges do not trigger.
 #[must_use]
 pub fn run_variation_study(node: &TechNode, cfg: &VariationConfig) -> VariationStudy {
+    run_variation_study_with(node, cfg, Parallelism::Auto)
+}
+
+/// [`run_variation_study`] with an explicit execution policy.
+///
+/// Per-sample child generators are derived serially from the master
+/// seed up front, so [`Parallelism::Serial`] and any parallel policy
+/// produce bit-identical draws and statistics.
+///
+/// # Panics
+///
+/// See [`run_variation_study`].
+#[must_use]
+pub fn run_variation_study_with(
+    node: &TechNode,
+    cfg: &VariationConfig,
+    parallelism: Parallelism,
+) -> VariationStudy {
     let line_at = |l_nh: f64| {
         LineRlc::new(
             node.line().resistance,
@@ -112,23 +135,30 @@ pub fn run_variation_study(node: &TechNode, cfg: &VariationConfig) -> VariationS
         ("RLC @ band max", worst.segment_length, worst.repeater_size),
     ];
 
-    let mut rng = Rng::new(cfg.seed);
-    let draws: Vec<f64> = (0..cfg.samples)
-        .map(|_| triangular(&mut rng, cfg.band_lo, cfg.band_hi, cfg.band_mode))
-        .collect();
+    // One child stream per sample, derived serially so the sequence
+    // depends only on the seed, never on the worker schedule.
+    let mut master = Rng::new(cfg.seed);
+    let streams: Vec<Rng> = (0..cfg.samples).map(|_| master.split()).collect();
 
+    let samples: Vec<(f64, [f64; 3])> =
+        par_map_chunked(&streams, parallelism, 0, |_, stream| {
+            let mut rng = stream.clone();
+            let l = triangular(&mut rng, cfg.band_lo, cfg.band_hi, cfg.band_mode);
+            let line = line_at(l);
+            let mut per_design = [0.0f64; 3];
+            for (slot, &(_, h, k)) in per_design.iter_mut().zip(designs.iter()) {
+                *slot = segment_delay(&line, &node.driver(), h, k, 0.5)?.get() / h.get();
+            }
+            Ok((l, per_design))
+        })
+        .expect("delay");
+
+    let draws: Vec<f64> = samples.iter().map(|&(l, _)| l).collect();
     let outcomes = designs
         .iter()
-        .map(|&(name, h, k)| {
-            let mut per_len: Vec<f64> = draws
-                .iter()
-                .map(|&l| {
-                    segment_delay(&line_at(l), &node.driver(), h, k, 0.5)
-                        .expect("delay")
-                        .get()
-                        / h.get()
-                })
-                .collect();
+        .enumerate()
+        .map(|(i, &(name, h, k))| {
+            let mut per_len: Vec<f64> = samples.iter().map(|&(_, d)| d[i]).collect();
             per_len.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let mean = per_len.iter().sum::<f64>() / per_len.len() as f64;
             let var = per_len.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()

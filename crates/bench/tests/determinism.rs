@@ -3,7 +3,8 @@
 //! different seed actually changes the draws. This is what makes every
 //! measured distribution in the paper reproduction replayable.
 
-use rlckit_bench::variation::{run_variation_study, VariationConfig};
+use rlckit_bench::variation::{run_variation_study, run_variation_study_with, VariationConfig};
+use rlckit_par::Parallelism;
 use rlckit_tech::TechNode;
 
 fn small_config(seed: u64) -> VariationConfig {
@@ -30,6 +31,26 @@ fn same_seed_gives_bit_identical_statistics() {
         assert_eq!(da.mean.to_bits(), db.mean.to_bits(), "{}: mean", da.name);
         assert_eq!(da.std.to_bits(), db.std.to_bits(), "{}: std", da.name);
         assert_eq!(da.p95.to_bits(), db.p95.to_bits(), "{}: p95", da.name);
+    }
+}
+
+#[test]
+fn parallel_study_is_bit_identical_to_serial() {
+    let node = TechNode::nm100();
+    let cfg = small_config(0xd1a1);
+    let serial = run_variation_study_with(&node, &cfg, Parallelism::Serial);
+    for policy in [Parallelism::Threads(2), Parallelism::Threads(5), Parallelism::Auto] {
+        let par = run_variation_study_with(&node, &cfg, policy);
+        assert_eq!(serial.draws.len(), par.draws.len());
+        for (x, y) in serial.draws.iter().zip(&par.draws) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{policy:?}: draws must match serial");
+        }
+        for (ds, dp) in serial.designs.iter().zip(&par.designs) {
+            assert_eq!(ds.name, dp.name);
+            assert_eq!(ds.mean.to_bits(), dp.mean.to_bits(), "{policy:?} {}: mean", ds.name);
+            assert_eq!(ds.std.to_bits(), dp.std.to_bits(), "{policy:?} {}: std", ds.name);
+            assert_eq!(ds.p95.to_bits(), dp.p95.to_bits(), "{policy:?} {}: p95", ds.name);
+        }
     }
 }
 

@@ -62,8 +62,11 @@ pub const DEFAULT_CASES: u64 = 64;
 #[macro_export]
 macro_rules! check_assume {
     ($cond:expr) => {
-        if !$cond {
-            return;
+        // `match` instead of `if !` keeps clippy's partial-ord lints
+        // quiet when the caller's condition is a float comparison.
+        match $cond {
+            true => {}
+            false => return,
         }
     };
 }

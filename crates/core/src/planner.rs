@@ -8,6 +8,7 @@
 //! module discretizes the optimum and exposes the cost/delay trade-off.
 
 use rlckit_numeric::{NumericError, Result};
+use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::DriverParams;
 use rlckit_tline::LineRlc;
 use rlckit_units::{Farads, Meters, Seconds};
@@ -152,6 +153,10 @@ pub fn plan_route(
 /// `segments` repeaters for each count in `range`, exposing how much
 /// delay each saved repeater costs.
 ///
+/// Each count re-runs a golden-section size optimization, so the sweep
+/// executes on the `rlckit-par` campaign engine by default (pure
+/// per-count computation — output is bit-identical to serial).
+///
 /// # Errors
 ///
 /// Propagates solver failures; counts of zero are skipped.
@@ -162,6 +167,23 @@ pub fn segment_count_tradeoff(
     threshold: f64,
     range: impl IntoIterator<Item = usize>,
 ) -> Result<Vec<RoutePlan>> {
+    segment_count_tradeoff_with(line, driver, route_length, threshold, range, Parallelism::Auto)
+}
+
+/// [`segment_count_tradeoff`] with an explicit execution policy
+/// ([`Parallelism::Serial`] is the reference semantics).
+///
+/// # Errors
+///
+/// See [`segment_count_tradeoff`].
+pub fn segment_count_tradeoff_with(
+    line: &LineRlc,
+    driver: &DriverParams,
+    route_length: Meters,
+    threshold: f64,
+    range: impl IntoIterator<Item = usize>,
+    parallelism: Parallelism,
+) -> Result<Vec<RoutePlan>> {
     let options = OptimizerOptions {
         threshold,
         ..OptimizerOptions::default()
@@ -169,15 +191,12 @@ pub fn segment_count_tradeoff(
     let continuous = optimize_rlc(line, driver, options)?;
     let continuous_bound =
         Seconds::new(continuous.delay_per_length() * route_length.get());
-    let mut plans = Vec::new();
-    for n in range {
-        if n == 0 {
-            continue;
-        }
+    let counts: Vec<usize> = range.into_iter().filter(|&n| n > 0).collect();
+    par_map_chunked(&counts, parallelism, 0, |_, &n| {
         let h = Meters::new(route_length.get() / n as f64);
         let k = optimal_size_for_length(line, driver, h, threshold)?;
         let tau = segment_delay(line, driver, h, k, threshold)?;
-        plans.push(RoutePlan {
+        Ok(RoutePlan {
             segments: n,
             segment_length: h,
             repeater_size: k,
@@ -188,9 +207,8 @@ pub fn segment_count_tradeoff(
                     * k
                     * (driver.input_capacitance.get() + driver.parasitic_capacitance.get()),
             ),
-        });
-    }
-    Ok(plans)
+        })
+    })
 }
 
 #[cfg(test)]

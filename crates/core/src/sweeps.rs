@@ -4,8 +4,18 @@
 //! plot: the RLC-optimal `(h, k)`, its delay per unit length, the
 //! critical inductance at the optimum, and the penalty of staying at the
 //! RC design point.
+//!
+//! The sweep is embarrassingly parallel — every point re-runs the
+//! Eq. 5–8 Newton optimizer independently — so it executes on the
+//! `rlckit-par` campaign engine by default. Results are **bit-identical
+//! to the serial evaluation** for every thread count (the per-point
+//! computation is a pure function and `rlckit_par::par_map_chunked`
+//! collects in input order); `RLCKIT_THREADS=1` or
+//! [`inductance_sweep_with`] with [`Parallelism::Serial`] forces the
+//! serial path.
 
 use rlckit_numeric::Result;
+use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::{DriverParams, LineParams, TechNode};
 use rlckit_tline::twopole::Damping;
 use rlckit_tline::LineRlc;
@@ -63,9 +73,28 @@ pub fn inductance_sweep(
     inductances: impl IntoIterator<Item = HenriesPerMeter>,
     options: OptimizerOptions,
 ) -> Result<Vec<SweepPoint>> {
+    inductance_sweep_with(line, driver, inductances, options, Parallelism::Auto)
+}
+
+/// [`inductance_sweep`] with an explicit execution policy.
+///
+/// [`Parallelism::Serial`] is the reference semantics; every parallel
+/// policy produces bit-identical output (property-tested in
+/// `tests/properties.rs`).
+///
+/// # Errors
+///
+/// See [`inductance_sweep`].
+pub fn inductance_sweep_with(
+    line: &LineParams,
+    driver: &DriverParams,
+    inductances: impl IntoIterator<Item = HenriesPerMeter>,
+    options: OptimizerOptions,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>> {
     let rc = rc_optimum(line, driver);
-    let mut points = Vec::new();
-    for l in inductances {
+    let points: Vec<HenriesPerMeter> = inductances.into_iter().collect();
+    par_map_chunked(&points, parallelism, 0, |_, &l| {
         let rlc_line = LineRlc::new(line.resistance, l, line.capacitance);
         let opt = optimize_rlc(&rlc_line, driver, options)?;
         let rc_design_delay = segment_delay(
@@ -75,7 +104,7 @@ pub fn inductance_sweep(
             rc.repeater_size,
             options.threshold,
         )?;
-        points.push(SweepPoint {
+        Ok(SweepPoint {
             inductance: l,
             h_opt: opt.segment_length.get(),
             k_opt: opt.repeater_size,
@@ -85,9 +114,8 @@ pub fn inductance_sweep(
             l_crit: opt.critical_inductance.get(),
             damping: opt.damping,
             rc_design_delay_per_length: rc_design_delay.get() / rc.segment_length.get(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// Convenience: sweep a technology node over the paper's standard range
@@ -278,5 +306,46 @@ mod tests {
     #[test]
     fn empty_series_is_handled() {
         assert!(delay_ratio_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let node = TechNode::nm100();
+        let grid: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(0.0, 4.95, 13)
+            .into_iter()
+            .map(HenriesPerMeter::from_nano_per_milli)
+            .collect();
+        let run = |parallelism| {
+            inductance_sweep_with(
+                &node.line(),
+                &node.driver(),
+                grid.iter().copied(),
+                OptimizerOptions::default(),
+                parallelism,
+            )
+            .unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        for threads in [2, 5] {
+            let parallel = run(Parallelism::Threads(threads));
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.inductance.get().to_bits(), p.inductance.get().to_bits());
+                assert_eq!(s.h_opt.to_bits(), p.h_opt.to_bits(), "threads={threads}");
+                assert_eq!(s.k_opt.to_bits(), p.k_opt.to_bits(), "threads={threads}");
+                assert_eq!(
+                    s.delay_per_length.to_bits(),
+                    p.delay_per_length.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(s.l_crit.to_bits(), p.l_crit.to_bits(), "threads={threads}");
+                assert_eq!(s.damping, p.damping);
+                assert_eq!(
+                    s.rc_design_delay_per_length.to_bits(),
+                    p.rc_design_delay_per_length.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,28 @@
+//! `RLCKIT_THREADS` override behaviour. Lives in its own test binary
+//! (one `#[test]`) because the process environment is global state: the
+//! harness would otherwise race concurrent tests on it.
+
+use rlckit_par::{available_threads, par_map_chunked, Parallelism};
+
+#[test]
+fn rlckit_threads_overrides_auto_detection() {
+    // Positive values win over auto-detection…
+    std::env::set_var("RLCKIT_THREADS", "3");
+    assert_eq!(available_threads(), 3);
+    assert_eq!(Parallelism::Auto.resolve(), 3);
+
+    // …`1` forces the serial path (still correct results)…
+    std::env::set_var("RLCKIT_THREADS", "1");
+    assert_eq!(available_threads(), 1);
+    let xs = [1.0f64, 2.0, 3.0];
+    let out = par_map_chunked(&xs, Parallelism::Auto, 0, |_, &x| Ok(x + 1.0)).unwrap();
+    assert_eq!(out, vec![2.0, 3.0, 4.0]);
+
+    // …and garbage or zero falls back to auto-detection.
+    for bad in ["0", "", "many", "-4"] {
+        std::env::set_var("RLCKIT_THREADS", bad);
+        assert!(available_threads() >= 1, "RLCKIT_THREADS={bad:?}");
+    }
+    std::env::remove_var("RLCKIT_THREADS");
+    assert!(available_threads() >= 1);
+}

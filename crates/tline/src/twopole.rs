@@ -186,8 +186,10 @@ impl TwoPole {
     ///
     /// Returns [`NumericError::InvalidInput`] unless `0 < f < 1` (for an
     /// underdamped system the response reaches any `f < 1 + overshoot`,
-    /// but the paper's delay definition keeps `f < 1`). Propagates solver
-    /// failures, which do not occur for passive configurations.
+    /// but the paper's delay definition keeps `f < 1`), and
+    /// [`NumericError::NoConvergence`] if the response plateaus below
+    /// `f` (degenerate moments far outside the passive range). Physical
+    /// configurations trigger neither.
     pub fn delay(&self, f: f64) -> Result<Seconds, NumericError> {
         let (t, _) = self.delay_with_iterations(f)?;
         Ok(t)
@@ -215,10 +217,24 @@ impl TwoPole {
                 core::f64::consts::PI / omega_d
             }
             _ => {
-                // v → 1 monotonically: expand until v(t) > f.
+                // v → 1 monotonically: expand until v(t) > f, with a
+                // hard cap on the doublings. Degenerate moments (e.g. a
+                // slow pole rounded to exactly zero) make the response
+                // plateau below f; uncapped, the loop would spin t to
+                // ±∞ and feed NaN into the solver — a parallel sweep
+                // must never wedge a worker thread on such a point.
+                const MAX_DOUBLINGS: usize = 64;
                 let mut t = 2.0 * self.b1;
+                let mut doublings = 0;
                 while self.response(t) < f {
+                    if doublings >= MAX_DOUBLINGS || !t.is_finite() {
+                        return Err(NumericError::NoConvergence {
+                            iterations: doublings,
+                            residual: f - self.response(t),
+                        });
+                    }
                     t *= 2.0;
+                    doublings += 1;
                 }
                 t
             }
@@ -227,6 +243,7 @@ impl TwoPole {
             x_tol: 1e-12,
             f_tol: 1e-12,
             max_iterations: 200,
+            ..RootOptions::default()
         };
         let root = newton_bracketed(
             |t| self.response(t) - f,
@@ -387,6 +404,26 @@ mod tests {
             let d = tp.delay(f).unwrap().get();
             assert!(d > last);
             last = d;
+        }
+    }
+
+    #[test]
+    fn degenerate_plateau_fails_fast_instead_of_expanding_to_infinity() {
+        // Regression: with b₂ this extreme the slow pole rounds to
+        // exactly 0, so the step response evaluates to 0 for every t —
+        // a plateau below any threshold. The uncapped bracket expansion
+        // used to double t all the way to ∞ (~1070 iterations) and then
+        // run the root solver on NaN values for its whole 200-iteration
+        // budget. The capped expansion must give up within its 64
+        // doublings.
+        let tp = TwoPole::new(1.0, 1e-300);
+        assert_eq!(tp.response(1e6), 0.0, "precondition: plateau at 0");
+        match tp.delay(0.5) {
+            Err(NumericError::NoConvergence { iterations, residual }) => {
+                assert!(iterations <= 64, "expansion not capped: {iterations}");
+                assert!((residual - 0.5).abs() < 1e-12, "residual {residual}");
+            }
+            other => panic!("plateau must fail with NoConvergence, got {other:?}"),
         }
     }
 

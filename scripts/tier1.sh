@@ -13,5 +13,10 @@ cargo build --release --offline
 # --workspace is a superset of the gate's `cargo test -q`: it also runs
 # every member crate's unit, integration and doc tests.
 cargo test -q --offline --workspace
+# Lints are part of the gate: warnings are build breaks.
+cargo clippy --offline --workspace --all-targets -- -D warnings
+# Bench bodies must at least execute (smoke mode runs each body once
+# and measures nothing), so the baseline stays regenerable.
+RLCKIT_BENCH_SMOKE=1 cargo bench --offline --workspace
 
 echo "tier-1 gate: OK"

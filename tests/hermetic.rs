@@ -30,7 +30,11 @@ fn workspace_manifests() -> Vec<PathBuf> {
         }
     }
     manifests.sort();
-    assert!(manifests.len() >= 9, "expected the full workspace, found {manifests:?}");
+    assert!(manifests.len() >= 10, "expected the full workspace, found {manifests:?}");
+    assert!(
+        manifests.iter().any(|m| m.ends_with("crates/par/Cargo.toml")),
+        "the rlckit-par manifest must be scanned, found {manifests:?}"
+    );
     manifests
 }
 
