@@ -7,7 +7,7 @@
 use std::hint::black_box;
 
 use rlckit::optimizer::segment_structure;
-use rlckit_bench::timer::Harness;
+use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_numeric::rng::Rng;
 use rlckit_tech::TechNode;
 use rlckit_tline::{LineRlc, TwoPole};
@@ -57,10 +57,27 @@ fn bench_delay_random_configs(h: &mut Harness) {
         })
         .collect();
     let mut i = 0usize;
-    h.bench("random_configs", move || {
-        i = (i + 1) % pool.len();
-        black_box(pool[i].delay(0.5).expect("delay"))
-    });
+    h.bench_profiled(
+        "random_configs",
+        &BenchOptions::default(),
+        move || {
+            i = (i + 1) % pool.len();
+            black_box(pool[i].delay(0.5).expect("delay"))
+        },
+        |delta| {
+            let iters = &delta.histograms["twopole.delay.iterations"];
+            vec![
+                ("iterations_per_solve".to_string(), iters.mean()),
+                (
+                    "bracket_doublings_per_solve".to_string(),
+                    delta
+                        .histograms
+                        .get("twopole.delay.bracket_doublings")
+                        .map_or(0.0, rlckit_trace::HistogramSnapshot::mean),
+                ),
+            ]
+        },
+    );
 }
 
 fn bench_iteration_counts(h: &mut Harness) {
@@ -82,11 +99,21 @@ fn bench_iteration_counts(h: &mut Harness) {
         let (_, iterations) = tp.delay_with_iterations(0.5).expect("delay");
         assert!(iterations <= 8, "delay took {iterations} iterations");
     }
-    h.bench("sweep_64_configs", || {
-        for tp in &samples {
-            black_box(tp.delay(0.5).expect("delay"));
-        }
-    });
+    h.bench_profiled(
+        "sweep_64_configs",
+        &BenchOptions::default(),
+        || {
+            for tp in &samples {
+                black_box(tp.delay(0.5).expect("delay"));
+            }
+        },
+        |delta| {
+            vec![(
+                "iterations_per_solve".to_string(),
+                delta.histograms["twopole.delay.iterations"].mean(),
+            )]
+        },
+    );
 }
 
 fn main() {

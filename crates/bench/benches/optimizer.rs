@@ -6,7 +6,7 @@
 use std::hint::black_box;
 
 use rlckit::optimizer::{optimize_rlc, optimize_rlc_direct, OptimizerOptions};
-use rlckit_bench::timer::Harness;
+use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_tech::TechNode;
 use rlckit_tline::LineRlc;
 use rlckit_units::HenriesPerMeter;
@@ -50,11 +50,33 @@ fn bench_iteration_claim(h: &mut Harness) {
         assert!(opt.iterations <= 15, "l={l}: {} iterations", opt.iterations);
     }
     let line = line_for(&node, 2.0);
-    h.bench("single_point_250nm", || {
-        black_box(
-            optimize_rlc(&line, &node.driver(), OptimizerOptions::default()).expect("optimum"),
-        )
-    });
+    h.bench_profiled(
+        "single_point_250nm",
+        &BenchOptions::default(),
+        || {
+            black_box(
+                optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
+                    .expect("optimum"),
+            )
+        },
+        |delta| {
+            let solves = delta.counter("optimizer.solves").max(1) as f64;
+            vec![
+                (
+                    "newton_iterations_per_solve".to_string(),
+                    delta.histograms["optimizer.newton.iterations"].mean(),
+                ),
+                (
+                    "delay_iterations_per_solve".to_string(),
+                    delta.histograms["twopole.delay.iterations"].mean(),
+                ),
+                (
+                    "fallbacks_per_solve".to_string(),
+                    delta.counter("optimizer.fallbacks") as f64 / solves,
+                ),
+            ]
+        },
+    );
 }
 
 fn main() {

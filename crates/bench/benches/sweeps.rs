@@ -21,9 +21,28 @@ fn bench_standard_sweep(h: &mut Harness) {
     let opts = BenchOptions::with_samples(20);
     for points in [5usize, 25] {
         let node = TechNode::nm100();
-        h.bench_with(&format!("standard_100nm_{points}"), &opts, || {
-            black_box(standard_node_sweep(&node, points).expect("sweep"))
-        });
+        h.bench_profiled(
+            &format!("standard_100nm_{points}"),
+            &opts,
+            || black_box(standard_node_sweep(&node, points).expect("sweep")),
+            |delta| {
+                let points = delta.counter("sweeps.points").max(1) as f64;
+                vec![
+                    (
+                        "optimizer_newton_iterations_per_solve".to_string(),
+                        delta.histograms["optimizer.newton.iterations"].mean(),
+                    ),
+                    (
+                        "delay_iterations_per_solve".to_string(),
+                        delta.histograms["twopole.delay.iterations"].mean(),
+                    ),
+                    (
+                        "no_convergence_per_point".to_string(),
+                        delta.counters_ending_with(".no_convergence") as f64 / points,
+                    ),
+                ]
+            },
+        );
     }
 }
 

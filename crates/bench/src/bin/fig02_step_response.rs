@@ -39,4 +39,5 @@ fn main() {
             tu.get()
         );
     }
+    rlckit_bench::trace_footer("fig02_step_response");
 }

@@ -37,4 +37,5 @@ fn main() {
          range, and the 100 nm values sit below the 250 nm values (lines become\n\
          underdamped for a wider range of l as technology scales).\n"
     );
+    rlckit_bench::trace_footer("fig04_lcrit");
 }

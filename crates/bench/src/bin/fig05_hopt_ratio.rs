@@ -53,4 +53,5 @@ fn main() {
         "Fig. 5 — h_optRLC / h_optRC vs line inductance",
         &table,
     );
+    rlckit_bench::trace_footer("fig05_hopt_ratio");
 }

@@ -56,4 +56,5 @@ fn main() {
         "the repeaters shrink with l as the line behaves increasingly like an LC\n\
          transmission line and raw drive strength stops paying for itself.\n"
     );
+    rlckit_bench::trace_footer("fig06_kopt_ratio");
 }

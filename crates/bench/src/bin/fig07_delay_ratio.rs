@@ -43,4 +43,5 @@ fn main() {
          normalized susceptibility curve does not depend on c at all. The paper's claim\n\
          is an identity here, not merely an observation.\n"
     );
+    rlckit_bench::trace_footer("fig07_delay_ratio");
 }

@@ -40,4 +40,5 @@ fn main() {
         (worst(&s250) - 1.0) * 100.0,
         (worst(&s100) - 1.0) * 100.0,
     );
+    rlckit_bench::trace_footer("fig08_variation");
 }

@@ -13,6 +13,7 @@ use rlckit_units::HenriesPerMeter;
 
 fn main() {
     emit_waveform(1.8, "fig09_waveform_1p8", "Fig. 9");
+    rlckit_bench::trace_footer("fig09_waveform_1p8");
 }
 
 /// Emits the waveform table for one inductance value.

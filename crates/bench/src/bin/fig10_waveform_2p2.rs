@@ -37,4 +37,5 @@ fn main() {
         w.input_overshoot(vdd),
         w.input_undershoot()
     );
+    rlckit_bench::trace_footer("fig10_waveform_2p2");
 }

@@ -78,4 +78,5 @@ fn main() {
          not a ring-oscillator artifact\n",
         clean.swing_ratio, clean.edge_ratio, failing.swing_ratio, failing.edge_ratio
     );
+    rlckit_bench::trace_footer("fig11_period");
 }

@@ -55,4 +55,5 @@ fn main() {
          not degraded by inductance variation (the paper's §3.3.2 conclusion)\n",
         rms_max / rms_min
     );
+    rlckit_bench::trace_footer("fig12_current_density");
 }

@@ -94,4 +94,5 @@ fn main() {
         "Table 1 cross-checks — extraction substrate and calibration inversion",
         &check,
     );
+    rlckit_bench::trace_footer("table1");
 }

@@ -181,4 +181,5 @@ fn main() {
          the linearized closed forms is expected; landing in the same neighbourhood closes\n\
          the paper's calibration loop end to end.\n"
     );
+    rlckit_bench::trace_footer("table1_spice_calibration");
 }

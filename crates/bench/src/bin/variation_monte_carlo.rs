@@ -40,4 +40,5 @@ fn main() {
         "the RLC designs do not only have lower mean delay; their spread under\n\
          inductance uncertainty is what the paper's Fig. 8 bounds deterministically.\n"
     );
+    rlckit_bench::trace_footer("variation_monte_carlo");
 }

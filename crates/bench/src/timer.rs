@@ -203,6 +203,40 @@ impl Harness {
         self.results.push(stats);
     }
 
+    /// Measures `body` like [`Harness::bench_with`], snapshotting the
+    /// process-wide trace metrics around the whole measurement and
+    /// handing the **delta** to `derive`, whose `(key, value)` pairs
+    /// are appended to the JSON record's extra fields.
+    ///
+    /// The delta covers calibration and warmup runs too, so derive
+    /// ratios *within* the snapshot (e.g. a histogram's
+    /// `mean()` = iterations per solve) rather than dividing by the
+    /// timed iteration count — ratios are insensitive to the extra
+    /// runs. A no-op beyond the plain measurement in smoke mode.
+    pub fn bench_profiled<T>(
+        &mut self,
+        name: &str,
+        opts: &BenchOptions,
+        body: impl FnMut() -> T,
+        derive: impl FnOnce(&rlckit_trace::Snapshot) -> Vec<(String, f64)>,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        let before = rlckit_trace::snapshot();
+        self.bench_with(name, opts, body);
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        let delta = rlckit_trace::snapshot().since(&before);
+        let extras = derive(&delta);
+        if let Some(s) = self.results.last_mut() {
+            if s.name == name {
+                s.extra.extend(extras);
+            }
+        }
+    }
+
     /// Looks up an already-recorded benchmark by exact name.
     #[must_use]
     pub fn stats(&self, name: &str) -> Option<&Stats> {
@@ -252,8 +286,17 @@ impl Harness {
 
     /// Writes the JSON-lines results file and consumes the harness. In
     /// smoke mode (or when every benchmark was filtered out) nothing is
-    /// written.
+    /// written. When `RLCKIT_TRACE` selects a sink, the group's counter
+    /// summary is printed to stderr in *both* modes — this is how the
+    /// tier-1 smoke pass audits `*.no_convergence` counters.
     pub fn finish(self) {
+        if rlckit_trace::enabled() {
+            eprint!(
+                "trace[{}]:\n{}",
+                self.group,
+                rlckit_trace::summary_string()
+            );
+        }
         if self.mode == Mode::Smoke || self.results.is_empty() {
             return;
         }

@@ -24,6 +24,7 @@ use rlckit_numeric::minimize::{nelder_mead, NelderMeadOptions};
 use rlckit_numeric::roots::{newton_system, RootOptions};
 use rlckit_numeric::{Complex, NumericError, Result};
 use rlckit_tech::DriverParams;
+use rlckit_trace::{counter, histogram, span};
 use rlckit_tline::twopole::{Damping, TwoPole};
 use rlckit_tline::{DriverInterconnectLoad, LineRlc};
 use rlckit_units::{Farads, HenriesPerMeter, Meters, Ohms, Seconds};
@@ -310,6 +311,8 @@ pub fn optimize_rlc(
             options.threshold
         )));
     }
+    counter!("optimizer.solves").incr();
+    let _span = span!("optimizer.solve");
     let rc = rc_optimum(
         &rlckit_tech::LineParams::new(line.resistance(), line.capacitance()),
         driver,
@@ -364,11 +367,13 @@ pub fn optimize_rlc(
 
     match newton {
         Ok(sol) if sol.x[0] > 0.0 && sol.x[1] > 0.0 => {
+            histogram!("optimizer.newton.iterations").observe(sol.iterations as u64);
             let h = sol.x[0] * h0;
             let k = sol.x[1] * k0;
             finish(line, driver, h, k, options.threshold, sol.iterations, false)
         }
         _ => {
+            counter!("optimizer.fallbacks").incr();
             let direct = optimize_rlc_direct(line, driver, options)?;
             Ok(RlcOptimum {
                 used_fallback: true,

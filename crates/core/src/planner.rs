@@ -10,6 +10,7 @@
 use rlckit_numeric::{NumericError, Result};
 use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::DriverParams;
+use rlckit_trace::{counter, span};
 use rlckit_tline::LineRlc;
 use rlckit_units::{Farads, Meters, Seconds};
 
@@ -54,6 +55,8 @@ pub fn optimal_size_for_length(
     segment_length: Meters,
     threshold: f64,
 ) -> Result<f64> {
+    let _span = span!("planner.size_reopt");
+    counter!("planner.size_reopts").incr();
     let objective = |ln_k: f64| {
         segment_delay(line, driver, segment_length, ln_k.exp(), threshold)
             .map_or(f64::INFINITY, |d| d.get())
@@ -193,9 +196,13 @@ pub fn segment_count_tradeoff_with(
         Seconds::new(continuous.delay_per_length() * route_length.get());
     let counts: Vec<usize> = range.into_iter().filter(|&n| n > 0).collect();
     par_map_chunked(&counts, parallelism, 0, |_, &n| {
+        let _span = span!("planner.point");
+        counter!("planner.points").incr();
         let h = Meters::new(route_length.get() / n as f64);
-        let k = optimal_size_for_length(line, driver, h, threshold)?;
-        let tau = segment_delay(line, driver, h, k, threshold)?;
+        let k = optimal_size_for_length(line, driver, h, threshold)
+            .inspect_err(|_| counter!("planner.no_convergence").incr())?;
+        let tau = segment_delay(line, driver, h, k, threshold)
+            .inspect_err(|_| counter!("planner.no_convergence").incr())?;
         Ok(RoutePlan {
             segments: n,
             segment_length: h,

@@ -6,6 +6,29 @@
 
 use std::fmt::Write as _;
 
+/// One-line audit summary of a campaign's solver telemetry: points
+/// solved, surfaced `NoConvergence` failures, and relaxed-tolerance
+/// optimizer accepts, read from the process-wide trace registry.
+///
+/// The fig/table binaries print this to stderr after regenerating their
+/// CSVs so a silent per-point failure (a point dropped from a sweep, a
+/// fallback quietly taken) is visible in the regeneration log.
+#[must_use]
+pub fn campaign_trace_summary() -> String {
+    let snap = rlckit_trace::snapshot();
+    let points = snap.counter("sweeps.points") + snap.counter("planner.points");
+    let optimizer_solves = snap.counter("optimizer.solves");
+    let delay_solves = snap.counter("twopole.delay.solves");
+    let no_convergence = snap.counters_ending_with(".no_convergence");
+    let relaxed = snap.counter("roots.newton_system.relaxed_accepts");
+    let fallbacks = snap.counter("optimizer.fallbacks");
+    format!(
+        "trace: {points} campaign points, {optimizer_solves} optimizer solves, \
+         {delay_solves} delay solves, {no_convergence} no-convergence, \
+         {relaxed} relaxed-tolerance accepts, {fallbacks} fallbacks"
+    )
+}
+
 /// A simple column-aligned table builder.
 ///
 /// # Examples

@@ -17,6 +17,7 @@
 use rlckit_numeric::Result;
 use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::{DriverParams, LineParams, TechNode};
+use rlckit_trace::{counter, span};
 use rlckit_tline::twopole::Damping;
 use rlckit_tline::LineRlc;
 use rlckit_units::HenriesPerMeter;
@@ -95,8 +96,11 @@ pub fn inductance_sweep_with(
     let rc = rc_optimum(line, driver);
     let points: Vec<HenriesPerMeter> = inductances.into_iter().collect();
     par_map_chunked(&points, parallelism, 0, |_, &l| {
+        let _span = span!("sweep.point");
+        counter!("sweeps.points").incr();
         let rlc_line = LineRlc::new(line.resistance, l, line.capacitance);
-        let opt = optimize_rlc(&rlc_line, driver, options)?;
+        let opt = optimize_rlc(&rlc_line, driver, options)
+            .inspect_err(|_| counter!("sweeps.no_convergence").incr())?;
         let rc_design_delay = segment_delay(
             &rlc_line,
             driver,

@@ -7,6 +7,7 @@
 //! smooth).
 
 use crate::{NumericError, Result};
+use rlckit_trace::{counter, histogram};
 
 /// Result of a converged minimization.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +76,8 @@ pub fn golden_section(
     }
     let x = 0.5 * (a + b);
     let value = f(x);
+    counter!("minimize.golden_section.calls").incr();
+    histogram!("minimize.golden_section.evaluations").observe((evaluations + 1) as u64);
     Ok(Minimum {
         x: vec![x],
         value,
@@ -169,6 +172,8 @@ pub fn nelder_mead(
                         .fold(0.0f64, f64::max)
                         .max(1.0)
         {
+            counter!("minimize.nelder_mead.calls").incr();
+            histogram!("minimize.nelder_mead.evaluations").observe(evaluations as u64);
             return Ok(Minimum {
                 x: simplex[best].clone(),
                 value: values[best],
@@ -234,6 +239,7 @@ pub fn nelder_mead(
         }
     }
     // Return the best point found with a NoConvergence marker.
+    counter!("minimize.nelder_mead.budget_exhausted").incr();
     Err(NumericError::NoConvergence {
         iterations: evaluations,
         residual: f64::NAN,

@@ -6,6 +6,22 @@
 //! asymptotic regime, and a damped Newton for small nonlinear systems.
 
 use crate::{NumericError, Result};
+use rlckit_trace::{counter, histogram, Counter, Histogram};
+
+/// Records the outcome of a scalar root solve: iterations histogram on
+/// success, budget-exhaustion counter on a spent budget. Pure
+/// telemetry — never alters the result.
+fn tally_root(
+    iterations: &'static Histogram,
+    budget_exhausted: &'static Counter,
+    result: &Result<Root>,
+) {
+    match result {
+        Ok(root) => iterations.observe(root.iterations as u64),
+        Err(NumericError::NoConvergence { .. }) => budget_exhausted.incr(),
+        Err(_) => {}
+    }
+}
 
 /// Options controlling an iterative root search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +87,22 @@ pub struct Root {
 /// # }
 /// ```
 pub fn newton_raphson(
+    f: impl FnMut(f64) -> f64,
+    df: impl FnMut(f64) -> f64,
+    x0: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    counter!("roots.newton_raphson.solves").incr();
+    let result = newton_raphson_impl(f, df, x0, options);
+    tally_root(
+        histogram!("roots.newton_raphson.iterations"),
+        counter!("roots.newton_raphson.budget_exhausted"),
+        &result,
+    );
+    result
+}
+
+fn newton_raphson_impl(
     mut f: impl FnMut(f64) -> f64,
     mut df: impl FnMut(f64) -> f64,
     x0: f64,
@@ -309,11 +341,13 @@ pub fn expand_bracket(
     let mut b = hi;
     let mut fa = f(a);
     let mut fb = f(b);
-    for _ in 0..max_expansions {
+    for expansion in 0..max_expansions {
         if !(a.is_finite() && b.is_finite() && fa.is_finite() && fb.is_finite()) {
+            counter!("roots.expand_bracket.failures").incr();
             return Err(NumericError::InvalidBracket { lo: a, hi: b });
         }
         if fa.signum() != fb.signum() {
+            histogram!("roots.expand_bracket.expansions").observe(expansion as u64);
             return Ok((a, b));
         }
         // zbrac-style: move the endpoint whose |f| is *smaller* — that
@@ -327,6 +361,7 @@ pub fn expand_bracket(
             fb = f(b);
         }
     }
+    counter!("roots.expand_bracket.failures").incr();
     Err(NumericError::InvalidBracket { lo: a, hi: b })
 }
 
@@ -342,6 +377,23 @@ pub fn expand_bracket(
 /// Returns [`NumericError::InvalidBracket`] if `[lo, hi]` does not bracket
 /// a root, and [`NumericError::NoConvergence`] on budget exhaustion.
 pub fn newton_bracketed(
+    f: impl FnMut(f64) -> f64,
+    df: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<Root> {
+    counter!("roots.newton_bracketed.solves").incr();
+    let result = newton_bracketed_impl(f, df, lo, hi, options);
+    tally_root(
+        histogram!("roots.newton_bracketed.iterations"),
+        counter!("roots.newton_bracketed.budget_exhausted"),
+        &result,
+    );
+    result
+}
+
+fn newton_bracketed_impl(
     mut f: impl FnMut(f64) -> f64,
     mut df: impl FnMut(f64) -> f64,
     lo: f64,
@@ -391,6 +443,7 @@ pub fn newton_bracketed(
         let next = if newton.is_finite() && newton > a && newton < b {
             newton
         } else {
+            counter!("roots.newton_bracketed.bisection_fallbacks").incr();
             0.5 * (a + b)
         };
         if (next - x).abs() <= options.x_tol * x.abs().max(1.0) {
@@ -448,6 +501,26 @@ pub struct SystemRoot {
 /// [`NumericError::SingularMatrix`] if the Jacobian is singular, or
 /// [`NumericError::InvalidInput`] if residuals become non-finite.
 pub fn newton_system(
+    f: impl FnMut(&[f64], &mut [f64]),
+    jac: impl FnMut(&[f64], &mut crate::dense::Matrix),
+    x0: &[f64],
+    options: RootOptions,
+) -> Result<SystemRoot> {
+    counter!("roots.newton_system.solves").incr();
+    let result = newton_system_impl(f, jac, x0, options);
+    match &result {
+        Ok(root) => {
+            histogram!("roots.newton_system.iterations").observe(root.iterations as u64);
+        }
+        Err(NumericError::NoConvergence { .. }) => {
+            counter!("roots.newton_system.budget_exhausted").incr();
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+fn newton_system_impl(
     mut f: impl FnMut(&[f64], &mut [f64]),
     mut jac: impl FnMut(&[f64], &mut crate::dense::Matrix),
     x0: &[f64],
@@ -507,6 +580,7 @@ pub fn newton_system(
             lambda *= 0.5;
         }
         if !accepted {
+            counter!("roots.newton_system.line_search_stalls").incr();
             return Err(NumericError::NoConvergence {
                 iterations: iteration,
                 residual: rnorm,
@@ -521,6 +595,7 @@ pub fn newton_system(
     // tolerance.
     if let Some(relaxed) = options.relaxed_f_tol {
         if rnorm <= options.f_tol.max(relaxed) {
+            counter!("roots.newton_system.relaxed_accepts").incr();
             return Ok(SystemRoot {
                 x,
                 residual: rnorm,

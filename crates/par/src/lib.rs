@@ -64,6 +64,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rlckit_numeric::{NumericError, Result};
+use rlckit_trace::{counter, histogram};
 
 /// How a parallel map distributes its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,6 +166,13 @@ where
     };
 
     let worker = || {
+        // Scheduling telemetry for the ROADMAP's work-stealing rung:
+        // how many tasks and chunks this worker ended up claiming.
+        // These are the one `par.*` metric family that is *not*
+        // deterministic run-to-run (totals are; the per-worker split is
+        // whatever the race produced).
+        let mut my_tasks = 0u64;
+        let mut my_chunks = 0u64;
         loop {
             let ci = next_chunk.fetch_add(1, Ordering::Relaxed);
             if ci >= n_chunks {
@@ -172,6 +180,8 @@ where
             }
             let start = ci * chunk;
             let end = (start + chunk).min(items.len());
+            my_tasks += (end - start) as u64;
+            my_chunks += 1;
             // Catch panics *outside* the slot lock: a panicking `f` can
             // then never poison the mutex, so sibling workers keep
             // draining chunks and the scope join always completes.
@@ -189,8 +199,12 @@ where
             let mut guard = slots.lock().expect("outcome slots never poisoned");
             guard[ci] = Some(outcome);
         }
+        histogram!("par.tasks_per_worker").observe(my_tasks);
+        histogram!("par.chunks_per_worker").observe(my_chunks);
     };
 
+    counter!("par.maps").incr();
+    counter!("par.tasks").add(items.len() as u64);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n_chunks) {
             scope.spawn(worker);
@@ -239,6 +253,7 @@ where
 /// thread, short-circuiting on the first error exactly like `collect`
 /// over `Result`s.
 fn serial_map<T, U>(items: &[T], f: &(impl Fn(usize, &T) -> Result<U> + Sync)) -> Result<Vec<U>> {
+    counter!("par.serial_maps").incr();
     let mut out = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
         out.push(f(i, item)?);

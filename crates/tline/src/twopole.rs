@@ -10,6 +10,7 @@
 use rlckit_numeric::poly::quadratic_roots;
 use rlckit_numeric::roots::{newton_bracketed, RootOptions};
 use rlckit_numeric::{Complex, NumericError};
+use rlckit_trace::{counter, histogram};
 use rlckit_units::Seconds;
 
 /// Damping regime of a second-order system (paper Fig. 2).
@@ -207,10 +208,17 @@ impl TwoPole {
                 "delay threshold must lie in (0, 1), got {f}"
             )));
         }
+        counter!("twopole.delay.solves").incr();
         // The response rises monotonically from 0 towards its first
         // maximum (underdamped) or towards 1 (otherwise), so the first
         // crossing is unique inside the bracket below.
-        let t_hi = match self.damping() {
+        let damping = self.damping();
+        match damping {
+            Damping::Overdamped => counter!("twopole.delay.damping.overdamped").incr(),
+            Damping::CriticallyDamped => counter!("twopole.delay.damping.critical").incr(),
+            Damping::Underdamped => counter!("twopole.delay.damping.underdamped").incr(),
+        }
+        let t_hi = match damping {
             Damping::Underdamped => {
                 // First peak at t = π/ω_d, where v ≥ 1 > f.
                 let omega_d = (-self.discriminant()).sqrt() / (2.0 * self.b2);
@@ -228,6 +236,7 @@ impl TwoPole {
                 let mut doublings = 0;
                 while self.response(t) < f {
                     if doublings >= MAX_DOUBLINGS || !t.is_finite() {
+                        counter!("twopole.delay.failures").incr();
                         return Err(NumericError::NoConvergence {
                             iterations: doublings,
                             residual: f - self.response(t),
@@ -236,6 +245,7 @@ impl TwoPole {
                     t *= 2.0;
                     doublings += 1;
                 }
+                histogram!("twopole.delay.bracket_doublings").observe(doublings as u64);
                 t
             }
         };
@@ -251,7 +261,9 @@ impl TwoPole {
             0.0,
             t_hi,
             options,
-        )?;
+        )
+        .inspect_err(|_| counter!("twopole.delay.failures").incr())?;
+        histogram!("twopole.delay.iterations").observe(root.iterations as u64);
         Ok((Seconds::new(root.x), root.iterations))
     }
 

@@ -1,0 +1,837 @@
+//! `rlckit-trace` — zero-dependency solver/campaign telemetry.
+//!
+//! Every performance rung on the ROADMAP (hot-path profiling of the
+//! two-pole delay solve, work-stealing for the planner's uneven
+//! golden-section calls, a sharded campaign driver) needs to know where
+//! iterations and wall-clock actually go. This crate is that
+//! instrumentation layer: process-wide **counters** and **iteration
+//! histograms** backed by relaxed atomics, lightweight RAII **span
+//! timers**, and an opt-in end-of-run **sink** selected by the
+//! `RLCKIT_TRACE` environment variable.
+//!
+//! # Cost model
+//!
+//! * A counter increment or histogram observation is one relaxed
+//!   `fetch_add` on a `static` atomic — no allocation, no branch on a
+//!   global flag, safe to leave in the hottest solver loops. The only
+//!   allocation a metric ever performs is its one-time registration
+//!   (a `Vec` push) the first time it is touched in a process.
+//! * Span timers *are* gated: when tracing is disabled
+//!   ([`enabled`] returns `false`) [`SpanTimer::start`] returns an
+//!   inert guard without reading the clock, so the disabled path costs
+//!   one relaxed load and allocates nothing. The `trace_overhead`
+//!   bench group quantifies both paths against a bare arithmetic op.
+//!
+//! # Determinism contract
+//!
+//! Counters and histograms record *algorithmic* quantities (iterations,
+//! bracket doublings, fallback tallies): for every metric **except the
+//! `par.*` family** they are a pure function of the computation's
+//! inputs — re-running the same campaign yields bit-identical values,
+//! regardless of thread count. The `par.*` metrics intentionally record
+//! scheduling (tasks per worker, chunks claimed) and vary run to run.
+//! Wall-clock quantities appear **only** under JSON keys ending in
+//! `_ns` (and the derived `mean_ns`), so a determinism check can parse
+//! the JSONL sink and ignore exactly the `*_ns` keys.
+//!
+//! # Sink selection
+//!
+//! | `RLCKIT_TRACE` | behaviour of [`flush`] |
+//! |---|---|
+//! | unset, empty, `0`, `off` | nothing (tracing disabled) |
+//! | `summary` | aligned text summary to stderr |
+//! | `jsonl` | JSON lines to stderr |
+//! | `jsonl:<path>` | JSON lines written to `<path>` |
+//!
+//! Any other value behaves like `summary` (fail open: asking for
+//! telemetry should never silence it).
+//!
+//! # Examples
+//!
+//! ```
+//! use rlckit_trace::{counter, histogram, span};
+//!
+//! rlckit_trace::set_enabled(true);
+//! {
+//!     let _guard = span!("example.work");
+//!     counter!("example.calls").incr();
+//!     histogram!("example.iterations").observe(3);
+//! }
+//! let snap = rlckit_trace::snapshot();
+//! assert_eq!(snap.counter("example.calls"), 1);
+//! assert!(snap.histograms["example.iterations"].mean() >= 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of exact histogram buckets: values `0..BUCKETS-1` count into
+/// their own bucket, anything `>= BUCKETS-1` lands in the last
+/// (overflow) bucket. Iteration counts in this workspace are single
+/// digits, so the exact range is generous.
+pub const BUCKETS: usize = 33;
+
+/// One registered metric (all three kinds live in the same registry so
+/// a snapshot is a single lock + walk).
+enum Metric {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+    Span(&'static SpanTimer),
+}
+
+/// The process-wide metric registry. Metrics self-register on first
+/// touch; the vector only ever grows (bounded by the number of metric
+/// *call sites*, not calls).
+static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// A monotonically increasing event counter.
+///
+/// Declare one per call site with [`counter!`]; the `static` storage is
+/// what makes increments allocation-free.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates an unregistered counter (const: usable in `static`s).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n` to the counter (relaxed; safe from any thread).
+    pub fn add(&'static self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            REGISTRY.lock().expect("registry lock").push(Metric::Counter(self));
+        }
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A histogram of small non-negative integer observations (iteration
+/// counts, tasks per worker, …) with exact buckets plus running
+/// count/sum/min/max.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Creates an unregistered histogram (const: usable in `static`s).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one observation (relaxed; safe from any thread).
+    pub fn observe(&'static self, value: u64) {
+        let bucket = (value as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            REGISTRY.lock().expect("registry lock").push(Metric::Histogram(self));
+        }
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Aggregated wall-clock timings for one span label: count, total,
+/// min and max, all in nanoseconds.
+pub struct SpanTimer {
+    name: &'static str,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl SpanTimer {
+    /// Creates an unregistered span timer (const: usable in `static`s).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Starts a span. When tracing is disabled the returned guard is
+    /// inert — no clock read, no allocation, nothing recorded on drop.
+    #[must_use]
+    pub fn start(&'static self) -> SpanGuard {
+        if enabled() {
+            SpanGuard(Some((self, Instant::now())))
+        } else {
+            SpanGuard(None)
+        }
+    }
+
+    /// Records a completed span of `ns` nanoseconds directly.
+    pub fn record_ns(&'static self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            REGISTRY.lock().expect("registry lock").push(Metric::Span(self));
+        }
+    }
+
+    /// Metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// RAII guard returned by [`SpanTimer::start`]; records the elapsed
+/// time on drop (or nothing, if tracing was disabled at start).
+pub struct SpanGuard(Option<(&'static SpanTimer, Instant)>);
+
+impl SpanGuard {
+    /// True if this guard is actually timing (tracing was enabled).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((timer, start)) = self.0.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            timer.record_ns(ns);
+        }
+    }
+}
+
+/// Declares a `static` [`Counter`] at the call site and yields a
+/// `&'static Counter` handle.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __RLCKIT_TRACE_COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &__RLCKIT_TRACE_COUNTER
+    }};
+}
+
+/// Declares a `static` [`Histogram`] at the call site and yields a
+/// `&'static Histogram` handle.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __RLCKIT_TRACE_HISTOGRAM: $crate::Histogram = $crate::Histogram::new($name);
+        &__RLCKIT_TRACE_HISTOGRAM
+    }};
+}
+
+/// Declares a `static` [`SpanTimer`] at the call site and starts a
+/// span, yielding the [`SpanGuard`]. Bind it (`let _guard = span!(…);`)
+/// so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __RLCKIT_TRACE_SPAN: $crate::SpanTimer = $crate::SpanTimer::new($name);
+        __RLCKIT_TRACE_SPAN.start()
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Enablement and sink configuration
+// ---------------------------------------------------------------------------
+
+/// Where [`flush`] sends the end-of-run report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sink {
+    Disabled,
+    Summary,
+    Jsonl(Option<PathBuf>),
+}
+
+impl Sink {
+    /// Parses an `RLCKIT_TRACE` value. Unknown non-empty values fail
+    /// open to `Summary`.
+    fn parse(raw: &str) -> Self {
+        let v = raw.trim();
+        match v {
+            "" | "0" | "off" => Self::Disabled,
+            "summary" | "1" => Self::Summary,
+            "jsonl" => Self::Jsonl(None),
+            _ => {
+                if let Some(path) = v.strip_prefix("jsonl:") {
+                    Self::Jsonl(Some(PathBuf::from(path)))
+                } else {
+                    Self::Summary
+                }
+            }
+        }
+    }
+}
+
+/// The parsed `RLCKIT_TRACE` value, read once per process.
+fn env_sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Sink::parse(&std::env::var("RLCKIT_TRACE").unwrap_or_default())
+    })
+}
+
+/// Programmatic enablement override: 0 = follow the environment,
+/// 1 = forced on, 2 = forced off.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// True when tracing is on: either [`set_enabled`] forced it, or
+/// `RLCKIT_TRACE` selects a sink. Counters and histograms record
+/// regardless (they are effectively free); this flag gates the span
+/// timers and is what makes the disabled path clock-free.
+#[must_use]
+pub fn enabled() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *env_sink() != Sink::Disabled,
+    }
+}
+
+/// Forces tracing on or off for this process, overriding `RLCKIT_TRACE`
+/// (used by tests and the bench harness; campaigns normally rely on the
+/// environment variable alone).
+pub fn set_enabled(on: bool) {
+    FORCED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Point-in-time value of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observation (`None` when empty). After
+    /// [`Snapshot::since`] this is the *process-lifetime* minimum, not
+    /// the interval's — exact bucket/count/sum deltas are what interval
+    /// arithmetic should use.
+    pub min: Option<u64>,
+    /// Largest observation (`None` when empty); same caveat as `min`.
+    pub max: Option<u64>,
+    /// Exact buckets: index = observed value, last bucket = overflow.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty). A pure function of count and
+    /// sum, so deterministic whenever they are.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest bucket index with a nonzero count, capped at the
+    /// overflow bucket (`None` when empty). Unlike `max` this *is*
+    /// interval-exact after [`Snapshot::since`] (for values below the
+    /// overflow bucket).
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// Point-in-time value of one span timer. All fields are wall-clock
+/// derived and therefore non-deterministic; they serialize only under
+/// `*_ns` keys.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest span (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+/// A consistent-enough copy of every registered metric (individual
+/// loads are relaxed; concurrent increments may straddle the walk,
+/// which telemetry tolerates by design).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span timer states by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// A counter's value, 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name ends with `suffix` (e.g.
+    /// `".no_convergence"` for the campaign failure tally).
+    #[must_use]
+    pub fn counters_ending_with(&self, suffix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(suffix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// The change since an `earlier` snapshot: counters, histogram
+    /// counts/sums/buckets and span counts/totals subtract
+    /// (saturating); histogram and span min/max keep this snapshot's
+    /// process-lifetime values (see [`HistogramSnapshot::min`]).
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), v.saturating_sub(earlier.counter(name))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let old = earlier.histograms.get(name);
+                let mut d = h.clone();
+                if let Some(old) = old {
+                    d.count = d.count.saturating_sub(old.count);
+                    d.sum = d.sum.saturating_sub(old.sum);
+                    for (b, ob) in d.buckets.iter_mut().zip(&old.buckets) {
+                        *b = b.saturating_sub(*ob);
+                    }
+                }
+                (name.clone(), d)
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                let old = earlier.spans.get(name);
+                let mut d = s.clone();
+                if let Some(old) = old {
+                    d.count = d.count.saturating_sub(old.count);
+                    d.total_ns = d.total_ns.saturating_sub(old.total_ns);
+                }
+                (name.clone(), d)
+            })
+            .collect();
+        Self {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// Captures the current value of every registered metric.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    let registry = REGISTRY.lock().expect("registry lock");
+    for metric in registry.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                *snap.counters.entry(c.name.to_string()).or_insert(0) += c.value();
+            }
+            Metric::Histogram(h) => {
+                let entry = snap
+                    .histograms
+                    .entry(h.name.to_string())
+                    .or_default();
+                let count = h.count.load(Ordering::Relaxed);
+                entry.count += count;
+                entry.sum += h.sum.load(Ordering::Relaxed);
+                if count > 0 {
+                    let min = h.min.load(Ordering::Relaxed);
+                    let max = h.max.load(Ordering::Relaxed);
+                    entry.min = Some(entry.min.map_or(min, |m| m.min(min)));
+                    entry.max = Some(entry.max.map_or(max, |m| m.max(max)));
+                }
+                if entry.buckets.is_empty() {
+                    entry.buckets = vec![0; BUCKETS];
+                }
+                for (dst, src) in entry.buckets.iter_mut().zip(&h.buckets) {
+                    *dst += src.load(Ordering::Relaxed);
+                }
+            }
+            Metric::Span(s) => {
+                let entry = snap.spans.entry(s.name.to_string()).or_default();
+                let count = s.count.load(Ordering::Relaxed);
+                entry.count += count;
+                entry.total_ns += s.total_ns.load(Ordering::Relaxed);
+                if count > 0 {
+                    entry.min_ns = entry.min_ns.min(s.min_ns.load(Ordering::Relaxed));
+                }
+                if entry.count == 0 {
+                    entry.min_ns = u64::MAX;
+                }
+                entry.max_ns = entry.max_ns.max(s.max_ns.load(Ordering::Relaxed));
+            }
+        }
+    }
+    // Normalize empty span minima so Default (0) doesn't masquerade as
+    // a measured 0 ns span.
+    for s in snap.spans.values_mut() {
+        if s.count == 0 {
+            s.min_ns = u64::MAX;
+        }
+    }
+    snap
+}
+
+// ---------------------------------------------------------------------------
+// Sinks: text summary and JSONL
+// ---------------------------------------------------------------------------
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Renders the aligned text summary of a snapshot. Zero-valued metrics
+/// are omitted — a grep for a counter name in the summary is therefore
+/// a nonzero check (the tier-1 gate relies on this for
+/// `*.no_convergence`).
+#[must_use]
+pub fn summary_of(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        if *value > 0 {
+            out.push_str(&format!("  counter   {name:<48} {value}\n"));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            out.push_str(&format!(
+                "  histogram {name:<48} count {}  mean {:.3}  min {}  max {}\n",
+                h.count,
+                h.mean(),
+                h.min.unwrap_or(0),
+                h.max.unwrap_or(0),
+            ));
+        }
+    }
+    for (name, s) in &snap.spans {
+        if s.count > 0 {
+            out.push_str(&format!(
+                "  span      {name:<48} count {}  total {}  mean {}\n",
+                s.count,
+                format_ns(s.total_ns as f64),
+                format_ns(s.total_ns as f64 / s.count as f64),
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no metrics recorded)\n");
+    }
+    out
+}
+
+/// Renders the current metrics as an aligned text summary.
+#[must_use]
+pub fn summary_string() -> String {
+    summary_of(&snapshot())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a snapshot as JSON lines: one object per metric, sorted by
+/// kind then name. Deterministic fields only, except values under keys
+/// ending in `_ns` (span wall-clock) — the documented escape hatch the
+/// JSONL guard test checks.
+#[must_use]
+pub fn jsonl_of(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
+            json_escape(name)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> = {
+            let last = h.max_bucket().map_or(0, |i| i + 1);
+            h.buckets[..last].iter().map(u64::to_string).collect()
+        };
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
+             \"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.min.unwrap_or(0),
+            h.max.unwrap_or(0),
+            buckets.join(","),
+        ));
+    }
+    for (name, s) in &snap.spans {
+        let min_ns = if s.count == 0 { 0 } else { s.min_ns };
+        out.push_str(&format!(
+            "{{\"type\":\"span\",\"name\":{},\"count\":{},\"total_ns\":{},\
+             \"min_ns\":{min_ns},\"max_ns\":{}}}\n",
+            json_escape(name),
+            s.count,
+            s.total_ns,
+            s.max_ns,
+        ));
+    }
+    out
+}
+
+/// Renders the current metrics as JSON lines.
+#[must_use]
+pub fn jsonl_string() -> String {
+    jsonl_of(&snapshot())
+}
+
+/// Writes the end-of-run report to the sink `RLCKIT_TRACE` selects
+/// (nothing when tracing is disabled). Call once at the end of a
+/// campaign binary or bench harness; a later flush overwrites an
+/// earlier file sink (last flush wins).
+pub fn flush() {
+    match env_sink() {
+        Sink::Disabled => {}
+        Sink::Summary => {
+            let _ = writeln!(std::io::stderr(), "trace summary:\n{}", summary_string());
+        }
+        Sink::Jsonl(None) => {
+            let _ = write!(std::io::stderr(), "{}", jsonl_string());
+        }
+        Sink::Jsonl(Some(path)) => {
+            if let Err(e) = std::fs::write(path, jsonl_string()) {
+                eprintln!("warning: could not write trace jsonl {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = counter!("test.counters_accumulate");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(snapshot().counter("test.counters_accumulate"), 5);
+        assert_eq!(snapshot().counter("test.never_touched"), 0);
+    }
+
+    #[test]
+    fn histograms_track_buckets_and_extremes() {
+        let h = histogram!("test.histogram_buckets");
+        for v in [2u64, 2, 7, 40] {
+            h.observe(v);
+        }
+        let snap = snapshot();
+        let hs = &snap.histograms["test.histogram_buckets"];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 51);
+        assert_eq!(hs.min, Some(2));
+        assert_eq!(hs.max, Some(40));
+        assert_eq!(hs.buckets[2], 2);
+        assert_eq!(hs.buckets[7], 1);
+        assert_eq!(hs.buckets[BUCKETS - 1], 1, "40 overflows the exact range");
+        assert!((hs.mean() - 12.75).abs() < 1e-12);
+        assert_eq!(hs.max_bucket(), Some(BUCKETS - 1));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counts_and_buckets() {
+        let c = counter!("test.delta_counter");
+        let h = histogram!("test.delta_histogram");
+        c.add(2);
+        h.observe(3);
+        let before = snapshot();
+        c.add(5);
+        h.observe(3);
+        h.observe(9);
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.counter("test.delta_counter"), 5);
+        let hd = &delta.histograms["test.delta_histogram"];
+        assert_eq!(hd.count, 2);
+        assert_eq!(hd.sum, 12);
+        assert_eq!(hd.buckets[3], 1);
+        assert_eq!(hd.buckets[9], 1);
+    }
+
+    #[test]
+    fn span_guards_record_only_when_enabled() {
+        // One test owns both states: parallel tests must not fight over
+        // the global flag mid-assertion.
+        set_enabled(false);
+        {
+            let guard = span!("test.span_disabled");
+            assert!(!guard.is_active(), "disabled tracing must yield inert guards");
+        }
+        assert_eq!(snapshot().spans.get("test.span_disabled").map_or(0, |s| s.count), 0);
+
+        set_enabled(true);
+        {
+            let guard = span!("test.span_enabled");
+            assert!(guard.is_active());
+            std::hint::black_box(3u64.pow(7));
+        }
+        let snap = snapshot();
+        let s = &snap.spans["test.span_enabled"];
+        assert_eq!(s.count, 1);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.total_ns >= s.max_ns);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn sink_parsing_covers_the_documented_grammar() {
+        assert_eq!(Sink::parse(""), Sink::Disabled);
+        assert_eq!(Sink::parse("0"), Sink::Disabled);
+        assert_eq!(Sink::parse("off"), Sink::Disabled);
+        assert_eq!(Sink::parse("summary"), Sink::Summary);
+        assert_eq!(Sink::parse("1"), Sink::Summary);
+        assert_eq!(Sink::parse("jsonl"), Sink::Jsonl(None));
+        assert_eq!(
+            Sink::parse("jsonl:/tmp/trace.jsonl"),
+            Sink::Jsonl(Some(PathBuf::from("/tmp/trace.jsonl")))
+        );
+        // Unknown values fail open to summary.
+        assert_eq!(Sink::parse("weird"), Sink::Summary);
+    }
+
+    #[test]
+    fn summary_omits_zero_valued_metrics() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("zeros.are.hidden".into(), 0);
+        snap.counters.insert("ones.are.shown".into(), 1);
+        let text = summary_of(&snap);
+        assert!(!text.contains("zeros.are.hidden"));
+        assert!(text.contains("ones.are.shown"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed_objects() {
+        let c = counter!("test.jsonl_counter");
+        c.incr();
+        let h = histogram!("test.jsonl_histogram");
+        h.observe(4);
+        let text = jsonl_string();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"type\":\"counter\""));
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"name\":\"test.jsonl_counter\""));
+    }
+
+    #[test]
+    fn counters_ending_with_sums_the_family() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.no_convergence".into(), 2);
+        snap.counters.insert("b.c.no_convergence".into(), 3);
+        snap.counters.insert("b.converged".into(), 100);
+        assert_eq!(snap.counters_ending_with(".no_convergence"), 5);
+    }
+}

@@ -16,7 +16,17 @@ cargo test -q --offline --workspace
 # Lints are part of the gate: warnings are build breaks.
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Bench bodies must at least execute (smoke mode runs each body once
-# and measures nothing), so the baseline stays regenerable.
-RLCKIT_BENCH_SMOKE=1 cargo bench --offline --workspace
+# and measures nothing), so the baseline stays regenerable. The pass
+# runs with tracing live so the disabled→enabled flip is exercised in
+# CI. The trace summary prints only nonzero metrics, so any
+# `*.no_convergence` line means a campaign-level solver failure.
+smoke_log="$(mktemp)"
+trap 'rm -f "$smoke_log"' EXIT
+RLCKIT_BENCH_SMOKE=1 RLCKIT_TRACE=summary cargo bench --offline --workspace 2>&1 \
+  | tee "$smoke_log"
+if grep -q '\.no_convergence' "$smoke_log"; then
+  echo "tier-1 gate: FAIL — nonzero no_convergence counter in bench smoke" >&2
+  exit 1
+fi
 
 echo "tier-1 gate: OK"
