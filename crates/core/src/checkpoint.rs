@@ -1,0 +1,280 @@
+//! JSONL checkpoint/resume for long sweep campaigns.
+//!
+//! A checkpoint file records each completed campaign point as one JSON
+//! line of exact `f64` bit patterns, preceded by a header that
+//! fingerprints the campaign's inputs. On restart the file is parsed,
+//! points whose fingerprint matches are skipped, and only the missing
+//! points are recomputed — producing results bit-identical to an
+//! uninterrupted run because each point's fault scope and arithmetic
+//! depend only on its original grid index.
+//!
+//! The format is append-only and torn-write tolerant: a process killed
+//! mid-write leaves at most one partial trailing line, which the parser
+//! discards (that point is simply recomputed). [`CheckpointFile::open`]
+//! always rewrites the file from its parsed contents, so the on-disk
+//! state is well-formed again after every open.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+use rlckit_numeric::{NumericError, Result};
+
+/// Version stamped into checkpoint headers; bump on format changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// FNV-1a over a stream of `u64` words (fed byte-wise, little-endian).
+///
+/// Used to fingerprint a campaign's inputs — line parameters, driver
+/// parameters, options, and the sweep grid, all as exact bit patterns —
+/// so a checkpoint file is never resumed against different inputs.
+#[must_use]
+pub fn fingerprint64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn io_err(op: &str, e: &std::io::Error) -> NumericError {
+    NumericError::InvalidInput(format!("checkpoint {op}: {e}"))
+}
+
+/// Parses a header line; returns `(version, fingerprint)`.
+fn parse_header_line(line: &str) -> Option<(u32, u64)> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') || !line.contains("\"type\":\"header\"") {
+        return None;
+    }
+    let rest = &line[line.find("\"version\":")? + "\"version\":".len()..];
+    let end = rest.find([',', '}'])?;
+    let version: u32 = rest[..end].trim().parse().ok()?;
+    let rest = &line[line.find("\"fingerprint\":\"0x")? + "\"fingerprint\":\"0x".len()..];
+    let end = rest.find('"')?;
+    let fingerprint = u64::from_str_radix(&rest[..end], 16).ok()?;
+    Some((version, fingerprint))
+}
+
+/// Parses a point line; returns `(index, words)`. Any malformed or
+/// truncated line — e.g. a torn final write — yields `None`.
+fn parse_point_line(line: &str) -> Option<(usize, Vec<u64>)> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') || !line.contains("\"type\":\"point\"") {
+        return None;
+    }
+    let rest = &line[line.find("\"index\":")? + "\"index\":".len()..];
+    let end = rest.find([',', '}'])?;
+    let index: usize = rest[..end].trim().parse().ok()?;
+    let rest = &line[line.find("\"words\":[")? + "\"words\":[".len()..];
+    let body = &rest[..rest.find(']')?];
+    let mut words = Vec::new();
+    for token in body.split(',') {
+        let token = token.trim().trim_matches('"');
+        let hex = token.strip_prefix("0x")?;
+        words.push(u64::from_str_radix(hex, 16).ok()?);
+    }
+    Some((index, words))
+}
+
+/// An open campaign checkpoint: an append handle plus the set of
+/// already-completed points parsed at open time.
+pub struct CheckpointFile {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl CheckpointFile {
+    /// Opens (or creates) the checkpoint at `path` for a campaign with
+    /// the given input `fingerprint`.
+    ///
+    /// Returns the handle and the completed points recovered from the
+    /// file. A missing file, a header mismatch (different fingerprint
+    /// or version), or an unparsable header all start fresh; malformed
+    /// point lines are dropped individually. The file is rewritten
+    /// from the parsed state so it is well-formed after open even if
+    /// the previous writer was killed mid-line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] on filesystem errors
+    /// (unwritable path, etc.).
+    pub fn open(path: &Path, fingerprint: u64) -> Result<(Self, BTreeMap<usize, Vec<u64>>)> {
+        let mut completed = BTreeMap::new();
+        if let Ok(file) = File::open(path) {
+            let mut lines = BufReader::new(file).lines();
+            if let Some(Ok(first)) = lines.next() {
+                if parse_header_line(&first) == Some((CHECKPOINT_VERSION, fingerprint)) {
+                    for line in lines.map_while(std::io::Result::ok) {
+                        if let Some((index, words)) = parse_point_line(&line) {
+                            completed.insert(index, words);
+                        }
+                    }
+                }
+            }
+        }
+        let file = File::create(path).map_err(|e| io_err("create", &e))?;
+        let mut writer = BufWriter::new(file);
+        writeln!(
+            writer,
+            "{{\"type\":\"header\",\"version\":{CHECKPOINT_VERSION},\"fingerprint\":\"{fingerprint:#018x}\"}}"
+        )
+        .map_err(|e| io_err("write header", &e))?;
+        for (index, words) in &completed {
+            write_point(&mut writer, *index, words)?;
+        }
+        writer.flush().map_err(|e| io_err("flush", &e))?;
+        Ok((
+            Self {
+                writer: Mutex::new(writer),
+            },
+            completed,
+        ))
+    }
+
+    /// Appends one completed point and flushes, so a kill immediately
+    /// after a point completes loses at most the in-flight line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] on write failures.
+    pub fn append(&self, index: usize, words: &[u64]) -> Result<()> {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        write_point(&mut writer, index, words)?;
+        writer.flush().map_err(|e| io_err("flush", &e))
+    }
+}
+
+fn write_point(writer: &mut BufWriter<File>, index: usize, words: &[u64]) -> Result<()> {
+    let mut line = format!("{{\"type\":\"point\",\"index\":{index},\"words\":[");
+    for (i, word) in words.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{word:#018x}\""));
+    }
+    line.push_str("]}");
+    writeln!(writer, "{line}").map_err(|e| io_err("write point", &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rlckit-checkpoint-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        let a = fingerprint64([1, 2, 3]);
+        let b = fingerprint64([1, 2, 3]);
+        let c = fingerprint64([3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(fingerprint64([]), fingerprint64([0]));
+    }
+
+    #[test]
+    fn roundtrip_and_resume() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint64([7, 8, 9]);
+        {
+            let (ck, done) = CheckpointFile::open(&path, fp).unwrap();
+            assert!(done.is_empty());
+            ck.append(0, &[0x3ff0_0000_0000_0000, 42]).unwrap();
+            ck.append(2, &[u64::MAX, 0]).unwrap();
+        }
+        let (_ck, done) = CheckpointFile::open(&path, fp).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0], vec![0x3ff0_0000_0000_0000, 42]);
+        assert_eq!(done[&2], vec![u64::MAX, 0]);
+        assert!(!done.contains_key(&1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ck, _) = CheckpointFile::open(&path, 111).unwrap();
+            ck.append(0, &[1]).unwrap();
+        }
+        let (_ck, done) = CheckpointFile::open(&path, 222).unwrap();
+        assert!(done.is_empty(), "mismatched fingerprint must not resume");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_file_repaired() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint64([5]);
+        {
+            let (ck, _) = CheckpointFile::open(&path, fp).unwrap();
+            ck.append(0, &[10]).unwrap();
+            ck.append(1, &[11]).unwrap();
+        }
+        // Simulate a kill mid-write: append a torn partial line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"type\":\"point\",\"index\":7,\"wor").unwrap();
+        }
+        let (_ck, done) = CheckpointFile::open(&path, fp).unwrap();
+        assert_eq!(done.len(), 2, "torn line must be dropped");
+        assert!(!done.contains_key(&7));
+        // The rewrite must have repaired the file: reopening again
+        // still sees exactly the two valid points.
+        drop(_ck);
+        let (_ck2, done2) = CheckpointFile::open(&path, fp).unwrap();
+        assert_eq!(done, done2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_middle_lines_are_skipped() {
+        let path = temp_path("malformed");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint64([1, 2]);
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"type\":\"header\",\"version\":1,\"fingerprint\":\"{fp:#018x}\"}}\n\
+                 {{\"type\":\"point\",\"index\":0,\"words\":[\"0x0000000000000001\"]}}\n\
+                 not json at all\n\
+                 {{\"type\":\"point\",\"index\":1,\"words\":[\"0xzz\"]}}\n\
+                 {{\"type\":\"point\",\"index\":2,\"words\":[\"0x0000000000000002\"]}}\n"
+            ),
+        )
+        .unwrap();
+        let (_ck, done) = CheckpointFile::open(&path, fp).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0], vec![1]);
+        assert_eq!(done[&2], vec![2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_parse_rejects_garbage() {
+        assert!(parse_header_line("").is_none());
+        assert!(parse_header_line("{\"type\":\"point\",\"index\":0}").is_none());
+        assert_eq!(
+            parse_header_line(
+                "{\"type\":\"header\",\"version\":1,\"fingerprint\":\"0x00000000000000ff\"}"
+            ),
+            Some((1, 255))
+        );
+    }
+}

@@ -27,6 +27,10 @@
 //!   (Fig. 12).
 //! * [`report`] — small table/CSV helpers used by the experiment
 //!   binaries.
+//! * [`outcome`] — per-point campaign outcomes and the point-level
+//!   retry wrapper of the fault-tolerant campaign engine.
+//! * [`checkpoint`] — JSONL checkpoint/resume for long campaigns,
+//!   bit-identical across kill-and-resume.
 //!
 //! # Quickstart
 //!
@@ -58,9 +62,11 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod elmore;
 pub mod failure;
 pub mod optimizer;
+pub mod outcome;
 pub mod planner;
 pub mod power;
 pub mod reliability;
@@ -68,16 +74,21 @@ pub mod report;
 pub mod sweeps;
 
 pub use elmore::{rc_optimum, RcOptimum};
-pub use optimizer::{optimize_rlc, OptimizerOptions, RlcOptimum};
+pub use optimizer::{optimize_rlc, OptimizerOptions, RetryPolicy, RlcOptimum};
+pub use outcome::{PointOutcome, Solved};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::elmore::{rc_optimum, RcOptimum};
     pub use crate::optimizer::{
-        optimize_rlc, optimize_rlc_direct, segment_delay, segment_structure, OptimizerOptions,
-        RlcOptimum,
+        optimize_rlc, optimize_rlc_direct, optimize_rlc_with_retry, segment_delay,
+        segment_structure, OptimizerOptions, RetryPolicy, RlcOptimum,
     };
-    pub use crate::sweeps::{inductance_sweep, SweepPoint};
+    pub use crate::outcome::{run_point, PointOutcome, Solved};
+    pub use crate::sweeps::{
+        inductance_sweep, inductance_sweep_checkpointed, inductance_sweep_outcomes,
+        standard_node_sweep_resumable, SweepPoint,
+    };
     pub use rlckit_tech::{DriverParams, LineParams, TechNode};
     pub use rlckit_tline::{Damping, DriverInterconnectLoad, LineRlc, TwoPole};
     pub use rlckit_units::*;

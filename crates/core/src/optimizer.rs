@@ -21,6 +21,7 @@
 
 use rlckit_numeric::fd::central_jacobian;
 use rlckit_numeric::minimize::{nelder_mead, NelderMeadOptions};
+use rlckit_numeric::rng::Rng;
 use rlckit_numeric::roots::{newton_system, RootOptions};
 use rlckit_numeric::{Complex, NumericError, Result};
 use rlckit_tech::DriverParams;
@@ -52,6 +53,71 @@ impl Default for OptimizerOptions {
     }
 }
 
+/// Policy for retrying failed optimizer solves before degrading to the
+/// derivative-free fallback.
+///
+/// The retry ladder distinguishes two failure kinds:
+///
+/// * **Transient** failures (injected faults from `rlckit-fault`): the
+///   solve is re-run unchanged — a transient fault fires at most once
+///   per scope attempt, so a plain re-run is pure and lands on the
+///   exact same iterate path (and hence bit-identical results).
+/// * **Numerical** failures (budget exhausted, singular Jacobian,
+///   non-finite residual): the Newton solve is re-seeded from a
+///   deterministically perturbed starting point drawn from a split RNG
+///   stream, up to [`RetryPolicy::max_restarts`] times.
+///
+/// If the ladder is exhausted and
+/// [`RetryPolicy::nelder_mead_fallback`] is set, the solve degrades to
+/// [`optimize_rlc_direct`] and the result is marked
+/// [`RlcOptimum::used_fallback`]. Domain errors
+/// ([`rlckit_numeric::FailureClass::InvalidInput`]) are never retried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Plain re-runs allowed for injected (transient) faults.
+    pub max_transient_retries: u32,
+    /// Perturbed restarts allowed for numerical failures.
+    pub max_restarts: u32,
+    /// Relative perturbation applied to the scaled starting point
+    /// `(h/h₀, k/k₀) = (1, 1)` on each restart.
+    pub perturbation: f64,
+    /// Seed of the restart RNG. Fixed by default so retried campaigns
+    /// are reproducible run-to-run.
+    pub seed: u64,
+    /// Degrade to the Nelder–Mead minimizer once retries are exhausted
+    /// instead of surfacing the last error.
+    pub nelder_mead_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_transient_retries: 2,
+            max_restarts: 2,
+            perturbation: 0.05,
+            // "RLC_SEED" in ASCII.
+            seed: 0x524c_435f_5345_4544,
+            nelder_mead_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never degrades: the first
+    /// failure is surfaced as-is. Useful in tests that need to observe
+    /// raw solver errors.
+    #[must_use]
+    pub fn fail_fast() -> Self {
+        Self {
+            max_transient_retries: 0,
+            max_restarts: 0,
+            perturbation: 0.0,
+            seed: 0,
+            nelder_mead_fallback: false,
+        }
+    }
+}
+
 /// The result of an RLC repeater-insertion optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RlcOptimum {
@@ -71,6 +137,10 @@ pub struct RlcOptimum {
     /// True if the Newton solve failed and the Nelder–Mead fallback
     /// produced this result.
     pub used_fallback: bool,
+    /// Retries spent before this result was produced (transient
+    /// re-runs plus perturbed restarts; 0 on the clean first-attempt
+    /// path).
+    pub restarts: u32,
 }
 
 impl RlcOptimum {
@@ -305,6 +375,30 @@ pub fn optimize_rlc(
     driver: &DriverParams,
     options: OptimizerOptions,
 ) -> Result<RlcOptimum> {
+    optimize_rlc_with_retry(line, driver, options, &RetryPolicy::default())
+}
+
+/// [`optimize_rlc`] with an explicit [`RetryPolicy`] governing how
+/// solver failures are retried before degrading to the Nelder–Mead
+/// fallback.
+///
+/// The clean first-attempt path is bit-identical to the historical
+/// [`optimize_rlc`]: the retry machinery only engages once the Newton
+/// solve fails. Transient (injected) faults are re-run unchanged;
+/// numerical failures are re-seeded from deterministically perturbed
+/// starting points before falling back.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for a threshold outside
+/// `(0, 1)`; once the ladder is exhausted (and the fallback is disabled
+/// or also fails), surfaces the last solver error.
+pub fn optimize_rlc_with_retry(
+    line: &LineRlc,
+    driver: &DriverParams,
+    options: OptimizerOptions,
+    policy: &RetryPolicy,
+) -> Result<RlcOptimum> {
     if !(0.0 < options.threshold && options.threshold < 1.0) {
         return Err(NumericError::InvalidInput(format!(
             "delay threshold must lie in (0, 1), got {}",
@@ -348,39 +442,82 @@ pub fn optimize_rlc(
         }
     };
 
-    let newton = newton_system(
-        eval,
-        jac,
-        &[1.0, 1.0],
-        RootOptions {
-            x_tol: options.tolerance,
-            f_tol: 1e-10,
-            max_iterations: options.max_iterations,
-            // Explicitly requested: the FD outer Jacobian limits the
-            // achievable stationarity residual, so a budget-exhausted
-            // solve that got below 1e-9 is still a usable optimum (the
-            // Nelder–Mead fallback would find the same point more
-            // slowly).
-            relaxed_f_tol: Some(1e-9),
-        },
-    );
-
-    match newton {
-        Ok(sol) if sol.x[0] > 0.0 && sol.x[1] > 0.0 => {
+    let mut restart_rng = Rng::new(policy.seed);
+    let mut u0 = [1.0, 1.0];
+    let mut transient_retries = 0u32;
+    let mut restarts = 0u32;
+    let last_error = loop {
+        let attempt = newton_system(
+            eval,
+            jac,
+            &u0,
+            RootOptions {
+                x_tol: options.tolerance,
+                f_tol: 1e-10,
+                max_iterations: options.max_iterations,
+                // Explicitly requested: the FD outer Jacobian limits the
+                // achievable stationarity residual, so a budget-exhausted
+                // solve that got below 1e-9 is still a usable optimum (the
+                // Nelder–Mead fallback would find the same point more
+                // slowly).
+                relaxed_f_tol: Some(1e-9),
+            },
+        )
+        .and_then(|sol| {
+            if sol.x[0] > 0.0 && sol.x[1] > 0.0 {
+                Ok(sol)
+            } else {
+                Err(NumericError::NoConvergence {
+                    iterations: sol.iterations,
+                    residual: sol.residual,
+                })
+            }
+        })
+        .and_then(|sol| {
             histogram!("optimizer.newton.iterations").observe(sol.iterations as u64);
             let h = sol.x[0] * h0;
             let k = sol.x[1] * k0;
             finish(line, driver, h, k, options.threshold, sol.iterations, false)
+        });
+
+        match attempt {
+            Ok(mut opt) => {
+                opt.restarts = transient_retries + restarts;
+                return Ok(opt);
+            }
+            Err(e) => {
+                let injected = e.is_injected() || rlckit_fault::poisoned();
+                if injected && transient_retries < policy.max_transient_retries {
+                    // Transient: a plain re-run of the same attempt is
+                    // pure once the one-shot injection has fired.
+                    transient_retries += 1;
+                } else if !injected && e.is_retryable() && restarts < policy.max_restarts {
+                    restarts += 1;
+                    let mut child = restart_rng.split();
+                    u0 = [
+                        1.0 + policy.perturbation * child.uniform(-1.0, 1.0),
+                        1.0 + policy.perturbation * child.uniform(-1.0, 1.0),
+                    ];
+                } else {
+                    break e;
+                }
+                counter!("optimizer.retries").incr();
+                rlckit_fault::next_attempt();
+            }
         }
-        _ => {
-            counter!("optimizer.fallbacks").incr();
-            let direct = optimize_rlc_direct(line, driver, options)?;
-            Ok(RlcOptimum {
-                used_fallback: true,
-                ..direct
-            })
-        }
+    };
+
+    if !policy.nelder_mead_fallback || !last_error.is_retryable() {
+        return Err(last_error);
     }
+    counter!("optimizer.fallbacks").incr();
+    counter!("optimizer.degraded").incr();
+    let direct = optimize_rlc_direct(line, driver, options)?;
+    Ok(RlcOptimum {
+        used_fallback: true,
+        restarts: transient_retries + restarts,
+        ..direct
+    })
 }
 
 /// Derivative-free reference optimizer: Nelder–Mead over `(ln h, ln k)`
@@ -450,6 +587,7 @@ fn finish(
         critical_inductance: dil.critical_inductance(),
         iterations,
         used_fallback,
+        restarts: 0,
     })
 }
 

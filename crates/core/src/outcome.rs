@@ -1,0 +1,264 @@
+//! Per-point campaign outcomes and the point-level retry wrapper.
+//!
+//! Sweep and planner campaigns cover grids of independent points; a
+//! single unlucky solve should not abort the whole campaign. This
+//! module provides the vocabulary for recording what happened at each
+//! point ([`PointOutcome`]) and the wrapper that runs one point inside
+//! its own deterministic fault scope with bounded transient retries
+//! ([`run_point`]).
+
+use rlckit_numeric::{NumericError, Result};
+use rlckit_trace::counter;
+
+use crate::optimizer::RetryPolicy;
+
+/// What happened at one campaign point.
+///
+/// The three success variants all carry a usable value; they differ in
+/// how much of the retry ladder was spent obtaining it, so reports can
+/// distinguish "clean", "retried then converged on the rigorous path",
+/// and "degraded to the derivative-free fallback".
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome<T> {
+    /// First attempt converged on the rigorous path.
+    Converged(T),
+    /// One or more retries were needed, but the rigorous path
+    /// ultimately converged.
+    Retried {
+        /// The converged value.
+        value: T,
+        /// Retries spent (transient re-runs plus perturbed restarts).
+        attempts: u32,
+    },
+    /// The rigorous path failed and the value came from the
+    /// derivative-free fallback.
+    Degraded {
+        /// The fallback value.
+        value: T,
+        /// Retries spent before degrading.
+        attempts: u32,
+    },
+    /// Every rung of the ladder failed; the point has no value.
+    Failed {
+        /// Point-level transient retries spent.
+        attempts: u32,
+        /// The last error observed.
+        error: NumericError,
+    },
+}
+
+impl<T> PointOutcome<T> {
+    /// The point's value, if it has one.
+    #[must_use]
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Self::Converged(value)
+            | Self::Retried { value, .. }
+            | Self::Degraded { value, .. } => Some(value),
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// Converts to a `Result`, surfacing the recorded error for failed
+    /// points. This is what the legacy error-propagating APIs use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stored [`NumericError`] if the point failed.
+    pub fn into_result(self) -> Result<T> {
+        match self {
+            Self::Converged(value)
+            | Self::Retried { value, .. }
+            | Self::Degraded { value, .. } => Ok(value),
+            Self::Failed { error, .. } => Err(error),
+        }
+    }
+
+    /// Whether the point failed outright.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Self::Failed { .. })
+    }
+}
+
+/// A solved value plus metadata about how hard the solve was, returned
+/// by the closure given to [`run_point`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solved<T> {
+    /// The solved value.
+    pub value: T,
+    /// Retries the inner solver spent (e.g.
+    /// [`crate::optimizer::RlcOptimum::restarts`]).
+    pub restarts: u32,
+    /// True if the value came from a degraded (fallback) path.
+    pub degraded: bool,
+}
+
+impl<T> Solved<T> {
+    /// Wraps a value solved cleanly on the first attempt.
+    pub fn converged(value: T) -> Self {
+        Self {
+            value,
+            restarts: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// Runs one campaign point inside its own deterministic fault scope.
+///
+/// `scope` must be a stable identifier for the point — the original
+/// grid index, not a position in some filtered remainder — so that
+/// fault-injection decisions are independent of execution order,
+/// parallelism, and checkpoint resume.
+///
+/// Transient failures (injected faults) are retried up to
+/// `policy.max_transient_retries` times at this level as a backstop for
+/// faults that strike outside the inner solver's own ladder (e.g. in a
+/// post-processing delay solve). Everything else is recorded as a
+/// [`PointOutcome::Failed`] rather than propagated.
+pub fn run_point<T>(
+    scope: u64,
+    policy: &RetryPolicy,
+    f: impl Fn() -> Result<Solved<T>>,
+) -> PointOutcome<T> {
+    rlckit_fault::with_scope(scope, || {
+        let mut point_retries = 0u32;
+        loop {
+            match f() {
+                Ok(solved) => {
+                    let attempts = point_retries + solved.restarts;
+                    return if solved.degraded {
+                        PointOutcome::Degraded {
+                            value: solved.value,
+                            attempts,
+                        }
+                    } else if attempts > 0 {
+                        PointOutcome::Retried {
+                            value: solved.value,
+                            attempts,
+                        }
+                    } else {
+                        PointOutcome::Converged(solved.value)
+                    };
+                }
+                Err(error) => {
+                    let injected = error.is_injected() || rlckit_fault::poisoned();
+                    if injected && point_retries < policy.max_transient_retries {
+                        point_retries += 1;
+                        counter!("campaign.point_retries").incr();
+                        rlckit_fault::next_attempt();
+                        continue;
+                    }
+                    counter!("campaign.points_failed").incr();
+                    return PointOutcome::Failed {
+                        attempts: point_retries,
+                        error,
+                    };
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn outcome_accessors() {
+        let c: PointOutcome<i32> = PointOutcome::Converged(7);
+        assert_eq!(c.value(), Some(&7));
+        assert!(!c.is_failed());
+        assert_eq!(c.into_result().unwrap(), 7);
+
+        let r = PointOutcome::Retried {
+            value: 8,
+            attempts: 2,
+        };
+        assert_eq!(r.into_result().unwrap(), 8);
+
+        let f: PointOutcome<i32> = PointOutcome::Failed {
+            attempts: 1,
+            error: NumericError::InvalidInput("x".into()),
+        };
+        assert!(f.is_failed());
+        assert!(f.value().is_none());
+        assert!(f.into_result().is_err());
+    }
+
+    #[test]
+    fn run_point_converges_without_retries() {
+        let outcome = run_point(0, &RetryPolicy::default(), || Ok(Solved::converged(42)));
+        assert_eq!(outcome, PointOutcome::Converged(42));
+    }
+
+    #[test]
+    fn run_point_records_solver_restarts_as_retried() {
+        let outcome = run_point(0, &RetryPolicy::default(), || {
+            Ok(Solved {
+                value: 1.5,
+                restarts: 3,
+                degraded: false,
+            })
+        });
+        assert_eq!(
+            outcome,
+            PointOutcome::Retried {
+                value: 1.5,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn run_point_records_degradation() {
+        let outcome = run_point(0, &RetryPolicy::default(), || {
+            Ok(Solved {
+                value: 9,
+                restarts: 1,
+                degraded: true,
+            })
+        });
+        assert_eq!(
+            outcome,
+            PointOutcome::Degraded {
+                value: 9,
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn run_point_retries_injected_faults_then_fails() {
+        // A closure that always reports an injected fault: the point
+        // level gets max_transient_retries attempts and then records
+        // the failure instead of propagating it.
+        let calls = Cell::new(0u32);
+        let policy = RetryPolicy::default();
+        let outcome: PointOutcome<i32> = run_point(0, &policy, || {
+            calls.set(calls.get() + 1);
+            Err(NumericError::InjectedFault { site: "test.site" })
+        });
+        assert_eq!(calls.get(), policy.max_transient_retries + 1);
+        match outcome {
+            PointOutcome::Failed { attempts, error } => {
+                assert_eq!(attempts, policy.max_transient_retries);
+                assert!(error.is_injected());
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_point_does_not_retry_domain_errors() {
+        let calls = Cell::new(0u32);
+        let outcome: PointOutcome<i32> = run_point(0, &RetryPolicy::default(), || {
+            calls.set(calls.get() + 1);
+            Err(NumericError::InvalidInput("domain".into()))
+        });
+        assert_eq!(calls.get(), 1);
+        assert!(outcome.is_failed());
+    }
+}

@@ -14,7 +14,12 @@ use rlckit_trace::{counter, span};
 use rlckit_tline::LineRlc;
 use rlckit_units::{Farads, Meters, Seconds};
 
-use crate::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
+use crate::optimizer::{optimize_rlc_with_retry, segment_delay, OptimizerOptions, RetryPolicy};
+use crate::outcome::{run_point, PointOutcome, Solved};
+
+/// Salt mixed into planner fault-scope keys so a planner point and a
+/// sweep point with the same index draw independent fault decisions.
+const PLANNER_SCOPE_SALT: u64 = 0x504C_0000_0000_0000;
 
 /// An implementable repeater plan for a route of fixed length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,11 +111,25 @@ pub fn plan_route(
     route_length: Meters,
     threshold: f64,
 ) -> Result<RoutePlan> {
+    let policy = RetryPolicy::default();
+    run_point(route_length.get().to_bits(), &policy, || {
+        plan_route_attempt(line, driver, route_length, threshold, &policy)
+    })
+    .into_result()
+}
+
+fn plan_route_attempt(
+    line: &LineRlc,
+    driver: &DriverParams,
+    route_length: Meters,
+    threshold: f64,
+    policy: &RetryPolicy,
+) -> Result<Solved<RoutePlan>> {
     let options = OptimizerOptions {
         threshold,
         ..OptimizerOptions::default()
     };
-    let continuous = optimize_rlc(line, driver, options)?;
+    let continuous = optimize_rlc_with_retry(line, driver, options, policy)?;
     let length = route_length.get();
     let ideal_segments = length / continuous.segment_length.get();
     if ideal_segments < 1.0 {
@@ -149,7 +168,16 @@ pub fn plan_route(
             best = Some(plan);
         }
     }
-    Ok(best.expect("at least one candidate"))
+    best.map(|plan| Solved {
+        value: plan,
+        restarts: continuous.restarts,
+        degraded: continuous.used_fallback,
+    })
+    .ok_or_else(|| {
+        NumericError::InvalidInput(format!(
+            "no candidate segment count for route {route_length}"
+        ))
+    })
 }
 
 /// The delay/cost trade-off around the optimum: plans forced to use
@@ -187,40 +215,83 @@ pub fn segment_count_tradeoff_with(
     range: impl IntoIterator<Item = usize>,
     parallelism: Parallelism,
 ) -> Result<Vec<RoutePlan>> {
+    segment_count_tradeoff_outcomes(
+        line,
+        driver,
+        route_length,
+        threshold,
+        range,
+        &RetryPolicy::default(),
+        parallelism,
+    )?
+    .into_iter()
+    .map(PointOutcome::into_result)
+    .collect()
+}
+
+/// The fault-tolerant trade-off engine: each segment count is solved
+/// inside its own deterministic fault scope and recorded as a
+/// [`PointOutcome`], so one failed count never aborts the sweep.
+///
+/// # Errors
+///
+/// Surfaces failures of the shared continuous solve (after its retry
+/// ladder) and infrastructure failures of the campaign engine;
+/// per-count solver failures are recorded in the outcomes.
+pub fn segment_count_tradeoff_outcomes(
+    line: &LineRlc,
+    driver: &DriverParams,
+    route_length: Meters,
+    threshold: f64,
+    range: impl IntoIterator<Item = usize>,
+    policy: &RetryPolicy,
+    parallelism: Parallelism,
+) -> Result<Vec<PointOutcome<RoutePlan>>> {
     let options = OptimizerOptions {
         threshold,
         ..OptimizerOptions::default()
     };
-    let continuous = optimize_rlc(line, driver, options)?;
-    let continuous_bound =
-        Seconds::new(continuous.delay_per_length() * route_length.get());
+    let continuous = run_point(route_length.get().to_bits(), policy, || {
+        optimize_rlc_with_retry(line, driver, options, policy).map(|opt| Solved {
+            restarts: opt.restarts,
+            degraded: opt.used_fallback,
+            value: opt,
+        })
+    })
+    .into_result()?;
+    let continuous_bound = Seconds::new(continuous.delay_per_length() * route_length.get());
     let counts: Vec<usize> = range.into_iter().filter(|&n| n > 0).collect();
-    par_map_chunked(&counts, parallelism, 0, |_, &n| {
+    par_map_chunked(&counts, parallelism, 0, |i, &n| {
         let _span = span!("planner.point");
         counter!("planner.points").incr();
-        let h = Meters::new(route_length.get() / n as f64);
-        let k = optimal_size_for_length(line, driver, h, threshold)
-            .inspect_err(|_| counter!("planner.no_convergence").incr())?;
-        let tau = segment_delay(line, driver, h, k, threshold)
-            .inspect_err(|_| counter!("planner.no_convergence").incr())?;
-        Ok(RoutePlan {
-            segments: n,
-            segment_length: h,
-            repeater_size: k,
-            total_delay: Seconds::new(tau.get() * n as f64),
-            continuous_bound,
-            repeater_capacitance: Farads::new(
-                n as f64
-                    * k
-                    * (driver.input_capacitance.get() + driver.parasitic_capacitance.get()),
-            ),
-        })
+        let outcome = run_point(PLANNER_SCOPE_SALT | i as u64, policy, || {
+            let h = Meters::new(route_length.get() / n as f64);
+            let k = optimal_size_for_length(line, driver, h, threshold)?;
+            let tau = segment_delay(line, driver, h, k, threshold)?;
+            Ok(Solved::converged(RoutePlan {
+                segments: n,
+                segment_length: h,
+                repeater_size: k,
+                total_delay: Seconds::new(tau.get() * n as f64),
+                continuous_bound,
+                repeater_capacitance: Farads::new(
+                    n as f64
+                        * k
+                        * (driver.input_capacitance.get() + driver.parasitic_capacitance.get()),
+                ),
+            }))
+        });
+        if outcome.is_failed() {
+            counter!("planner.no_convergence").incr();
+        }
+        Ok(outcome)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optimizer::optimize_rlc;
     use rlckit_tech::TechNode;
     use rlckit_units::HenriesPerMeter;
 

@@ -22,10 +22,16 @@ pub fn campaign_trace_summary() -> String {
     let no_convergence = snap.counters_ending_with(".no_convergence");
     let relaxed = snap.counter("roots.newton_system.relaxed_accepts");
     let fallbacks = snap.counter("optimizer.fallbacks");
+    let retries = snap.counter("optimizer.retries") + snap.counter("campaign.point_retries");
+    let degraded = snap.counter("optimizer.degraded");
+    let injected = snap.counters_ending_with(".injected_faults");
+    let failed = snap.counter("campaign.points_failed");
     format!(
         "trace: {points} campaign points, {optimizer_solves} optimizer solves, \
          {delay_solves} delay solves, {no_convergence} no-convergence, \
-         {relaxed} relaxed-tolerance accepts, {fallbacks} fallbacks"
+         {relaxed} relaxed-tolerance accepts, {fallbacks} fallbacks, \
+         {retries} retries, {degraded} degraded, {injected} injected faults, \
+         {failed} failed points"
     )
 }
 

@@ -14,7 +14,9 @@
 //! [`inductance_sweep_with`] with [`Parallelism::Serial`] forces the
 //! serial path.
 
-use rlckit_numeric::Result;
+use std::path::Path;
+
+use rlckit_numeric::{NumericError, Result};
 use rlckit_par::{par_map_chunked, Parallelism};
 use rlckit_tech::{DriverParams, LineParams, TechNode};
 use rlckit_trace::{counter, span};
@@ -22,8 +24,10 @@ use rlckit_tline::twopole::Damping;
 use rlckit_tline::LineRlc;
 use rlckit_units::HenriesPerMeter;
 
-use crate::elmore::rc_optimum;
-use crate::optimizer::{optimize_rlc, segment_delay, OptimizerOptions};
+use crate::checkpoint::{fingerprint64, CheckpointFile, CHECKPOINT_VERSION};
+use crate::elmore::{rc_optimum, RcOptimum};
+use crate::optimizer::{optimize_rlc_with_retry, segment_delay, OptimizerOptions, RetryPolicy};
+use crate::outcome::{run_point, PointOutcome, Solved};
 
 /// One point of an inductance sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,14 +97,65 @@ pub fn inductance_sweep_with(
     options: OptimizerOptions,
     parallelism: Parallelism,
 ) -> Result<Vec<SweepPoint>> {
+    inductance_sweep_outcomes(
+        line,
+        driver,
+        inductances,
+        options,
+        &RetryPolicy::default(),
+        parallelism,
+    )?
+    .into_iter()
+    .map(PointOutcome::into_result)
+    .collect()
+}
+
+/// The fault-tolerant sweep engine: every grid point is solved inside
+/// its own deterministic fault scope and recorded as a
+/// [`PointOutcome`], so one failed point never aborts the campaign or
+/// disturbs the numbers of its neighbours.
+///
+/// The scope key of each point is its index in `inductances`, making
+/// fault-injection decisions (and hence every retried point's bits)
+/// independent of thread count and of checkpoint resume.
+///
+/// # Errors
+///
+/// Only infrastructure failures surface here (a worker panic turned
+/// into [`NumericError::InvalidInput`] by the campaign engine); solver
+/// failures are recorded per point.
+pub fn inductance_sweep_outcomes(
+    line: &LineParams,
+    driver: &DriverParams,
+    inductances: impl IntoIterator<Item = HenriesPerMeter>,
+    options: OptimizerOptions,
+    policy: &RetryPolicy,
+    parallelism: Parallelism,
+) -> Result<Vec<PointOutcome<SweepPoint>>> {
     let rc = rc_optimum(line, driver);
     let points: Vec<HenriesPerMeter> = inductances.into_iter().collect();
-    par_map_chunked(&points, parallelism, 0, |_, &l| {
-        let _span = span!("sweep.point");
-        counter!("sweeps.points").incr();
-        let rlc_line = LineRlc::new(line.resistance, l, line.capacitance);
-        let opt = optimize_rlc(&rlc_line, driver, options)
-            .inspect_err(|_| counter!("sweeps.no_convergence").incr())?;
+    par_map_chunked(&points, parallelism, 0, |i, &l| {
+        Ok(sweep_point_outcome(
+            line, driver, &rc, l, options, policy, i as u64,
+        ))
+    })
+}
+
+/// Solves one sweep point inside fault scope `scope`.
+fn sweep_point_outcome(
+    line: &LineParams,
+    driver: &DriverParams,
+    rc: &RcOptimum,
+    l: HenriesPerMeter,
+    options: OptimizerOptions,
+    policy: &RetryPolicy,
+    scope: u64,
+) -> PointOutcome<SweepPoint> {
+    let _span = span!("sweep.point");
+    counter!("sweeps.points").incr();
+    let rlc_line = LineRlc::new(line.resistance, l, line.capacitance);
+    let outcome = run_point(scope, policy, || {
+        let opt = optimize_rlc_with_retry(&rlc_line, driver, options, policy)?;
         let rc_design_delay = segment_delay(
             &rlc_line,
             driver,
@@ -108,18 +163,156 @@ pub fn inductance_sweep_with(
             rc.repeater_size,
             options.threshold,
         )?;
-        Ok(SweepPoint {
-            inductance: l,
-            h_opt: opt.segment_length.get(),
-            k_opt: opt.repeater_size,
-            delay_per_length: opt.delay_per_length(),
-            h_ratio: opt.segment_length.get() / rc.segment_length.get(),
-            k_ratio: opt.repeater_size / rc.repeater_size,
-            l_crit: opt.critical_inductance.get(),
-            damping: opt.damping,
-            rc_design_delay_per_length: rc_design_delay.get() / rc.segment_length.get(),
+        Ok(Solved {
+            value: SweepPoint {
+                inductance: l,
+                h_opt: opt.segment_length.get(),
+                k_opt: opt.repeater_size,
+                delay_per_length: opt.delay_per_length(),
+                h_ratio: opt.segment_length.get() / rc.segment_length.get(),
+                k_ratio: opt.repeater_size / rc.repeater_size,
+                l_crit: opt.critical_inductance.get(),
+                damping: opt.damping,
+                rc_design_delay_per_length: rc_design_delay.get() / rc.segment_length.get(),
+            },
+            restarts: opt.restarts,
+            degraded: opt.used_fallback,
         })
+    });
+    if outcome.is_failed() {
+        counter!("sweeps.no_convergence").incr();
+    }
+    outcome
+}
+
+/// Fingerprints a sweep campaign's inputs (all as exact bit patterns)
+/// for checkpoint headers.
+#[must_use]
+pub fn campaign_fingerprint(
+    line: &LineParams,
+    driver: &DriverParams,
+    inductances: &[HenriesPerMeter],
+    options: OptimizerOptions,
+) -> u64 {
+    let mut words = vec![
+        u64::from(CHECKPOINT_VERSION),
+        line.resistance.get().to_bits(),
+        line.capacitance.get().to_bits(),
+        driver.output_resistance.get().to_bits(),
+        driver.input_capacitance.get().to_bits(),
+        driver.parasitic_capacitance.get().to_bits(),
+        options.threshold.to_bits(),
+        options.tolerance.to_bits(),
+        options.max_iterations as u64,
+        inductances.len() as u64,
+    ];
+    words.extend(inductances.iter().map(|l| l.get().to_bits()));
+    fingerprint64(words)
+}
+
+fn encode_sweep_point(p: &SweepPoint) -> Vec<u64> {
+    vec![
+        p.inductance.get().to_bits(),
+        p.h_opt.to_bits(),
+        p.k_opt.to_bits(),
+        p.delay_per_length.to_bits(),
+        p.h_ratio.to_bits(),
+        p.k_ratio.to_bits(),
+        p.l_crit.to_bits(),
+        match p.damping {
+            Damping::Overdamped => 0,
+            Damping::CriticallyDamped => 1,
+            Damping::Underdamped => 2,
+        },
+        p.rc_design_delay_per_length.to_bits(),
+    ]
+}
+
+fn decode_sweep_point(words: &[u64]) -> Option<SweepPoint> {
+    if words.len() != 9 {
+        return None;
+    }
+    Some(SweepPoint {
+        inductance: HenriesPerMeter::new(f64::from_bits(words[0])),
+        h_opt: f64::from_bits(words[1]),
+        k_opt: f64::from_bits(words[2]),
+        delay_per_length: f64::from_bits(words[3]),
+        h_ratio: f64::from_bits(words[4]),
+        k_ratio: f64::from_bits(words[5]),
+        l_crit: f64::from_bits(words[6]),
+        damping: match words[7] {
+            0 => Damping::Overdamped,
+            1 => Damping::CriticallyDamped,
+            2 => Damping::Underdamped,
+            _ => return None,
+        },
+        rc_design_delay_per_length: f64::from_bits(words[8]),
     })
+}
+
+/// [`inductance_sweep_with`] with JSONL checkpoint/resume: completed
+/// points are streamed to `path` as they finish, and a restarted
+/// campaign skips them, recomputing only what is missing.
+///
+/// Because each point's fault scope and arithmetic depend only on its
+/// original grid index, a killed-and-resumed campaign produces results
+/// **bit-identical** to an uninterrupted run. A checkpoint whose header
+/// fingerprint does not match this campaign's inputs is discarded, so a
+/// stale file can never contaminate a different sweep. The file is kept
+/// after completion; re-running the same campaign serves every point
+/// from it.
+///
+/// # Errors
+///
+/// Surfaces per-point failures (after the retry ladder is exhausted)
+/// and checkpoint I/O failures as [`NumericError::InvalidInput`].
+pub fn inductance_sweep_checkpointed(
+    line: &LineParams,
+    driver: &DriverParams,
+    inductances: impl IntoIterator<Item = HenriesPerMeter>,
+    options: OptimizerOptions,
+    policy: &RetryPolicy,
+    path: &Path,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>> {
+    let points: Vec<HenriesPerMeter> = inductances.into_iter().collect();
+    let fingerprint = campaign_fingerprint(line, driver, &points, options);
+    let (checkpoint, completed) = CheckpointFile::open(path, fingerprint)?;
+    let rc = rc_optimum(line, driver);
+
+    let mut results: Vec<Option<SweepPoint>> = vec![None; points.len()];
+    let mut missing: Vec<(usize, HenriesPerMeter)> = Vec::new();
+    for (i, &l) in points.iter().enumerate() {
+        match completed.get(&i).and_then(|words| decode_sweep_point(words)) {
+            Some(point) => {
+                counter!("sweeps.checkpoint.skipped").incr();
+                results[i] = Some(point);
+            }
+            None => missing.push((i, l)),
+        }
+    }
+
+    let computed = par_map_chunked(&missing, parallelism, 0, |_, &(i, l)| {
+        Ok((
+            i,
+            sweep_point_outcome(line, driver, &rc, l, options, policy, i as u64),
+        ))
+    })?;
+    for (i, outcome) in computed {
+        let point = outcome.into_result()?;
+        checkpoint.append(i, &encode_sweep_point(&point))?;
+        counter!("sweeps.checkpoint.streamed").incr();
+        results[i] = Some(point);
+    }
+
+    results
+        .into_iter()
+        .map(|point| {
+            point.ok_or_else(|| {
+                NumericError::InvalidInput("checkpoint bookkeeping lost a point".to_string())
+            })
+        })
+        .collect()
 }
 
 /// Convenience: sweep a technology node over the paper's standard range
@@ -135,6 +328,31 @@ pub fn standard_node_sweep(node: &TechNode, n: usize) -> Result<Vec<SweepPoint>>
         &node.driver(),
         grid.into_iter().map(HenriesPerMeter::from_nano_per_milli),
         OptimizerOptions::default(),
+    )
+}
+
+/// [`standard_node_sweep`] with checkpoint/resume at `path` (see
+/// [`inductance_sweep_checkpointed`]): a killed run resumes from the
+/// completed points and reproduces the uninterrupted result
+/// bit-for-bit.
+///
+/// # Errors
+///
+/// See [`inductance_sweep_checkpointed`].
+pub fn standard_node_sweep_resumable(
+    node: &TechNode,
+    n: usize,
+    path: &Path,
+) -> Result<Vec<SweepPoint>> {
+    let grid = rlckit_numeric::grid::linspace(0.0, 4.95, n);
+    inductance_sweep_checkpointed(
+        &node.line(),
+        &node.driver(),
+        grid.into_iter().map(HenriesPerMeter::from_nano_per_milli),
+        OptimizerOptions::default(),
+        &RetryPolicy::default(),
+        path,
+        Parallelism::Auto,
     )
 }
 

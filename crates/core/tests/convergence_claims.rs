@@ -40,6 +40,9 @@ fn campaign_nodes() -> Vec<TechNode> {
 fn campaign_delta() -> &'static Snapshot {
     static DELTA: OnceLock<Snapshot> = OnceLock::new();
     DELTA.get_or_init(|| {
+        // The claims are about clean solves: force fault injection off
+        // even if the test process inherited RLCKIT_FAULTS.
+        rlckit_fault::disarm();
         let before = rlckit_trace::snapshot();
         for node in campaign_nodes() {
             standard_node_sweep(&node, GRID_POINTS).expect("campaign sweep");
@@ -111,5 +114,35 @@ fn campaign_completes_without_surfaced_or_internal_failures() {
         delta.counter("roots.newton_system.relaxed_accepts"),
         0,
         "a stationarity solve only met the relaxed tolerance"
+    );
+}
+
+#[test]
+fn clean_campaign_spends_no_retry_budget() {
+    // The retry ladder must be invisible on a clean pass: no transient
+    // re-runs, no perturbed restarts, no degradations to Nelder-Mead,
+    // no failed points — and, with injection disarmed, no injected
+    // faults anywhere in the stack.
+    let delta = campaign_delta();
+    assert_eq!(delta.counter("optimizer.retries"), 0, "optimizer retried");
+    assert_eq!(
+        delta.counter("optimizer.degraded"),
+        0,
+        "optimizer degraded to the fallback"
+    );
+    assert_eq!(
+        delta.counter("campaign.point_retries"),
+        0,
+        "a campaign point was retried"
+    );
+    assert_eq!(
+        delta.counter("campaign.points_failed"),
+        0,
+        "a campaign point failed outright"
+    );
+    assert_eq!(
+        delta.counters_ending_with(".injected_faults"),
+        0,
+        "an injected fault fired in a disarmed campaign"
     );
 }

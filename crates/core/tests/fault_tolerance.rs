@@ -1,0 +1,404 @@
+//! Integration tests for the fault-tolerant campaign engine: armed
+//! fault-injection campaigns must complete with per-point outcomes,
+//! retried points must be bit-identical to a clean run, and
+//! checkpoint/resume must reproduce an uninterrupted campaign exactly.
+//!
+//! Fault arming and trace counters are process-global, so every test
+//! takes `FAULT_LOCK` for its whole body and sets the armed state
+//! explicitly (the cargo test harness runs tests on multiple threads).
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use rlckit::optimizer::{optimize_rlc_with_retry, OptimizerOptions, RetryPolicy};
+use rlckit::outcome::PointOutcome;
+use rlckit::sweeps::{
+    inductance_sweep_outcomes, standard_node_sweep, standard_node_sweep_resumable, SweepPoint,
+};
+use rlckit_par::Parallelism;
+use rlckit_tech::TechNode;
+use rlckit_tline::twopole::Damping;
+use rlckit_tline::LineRlc;
+use rlckit_units::HenriesPerMeter;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const GRID_POINTS: usize = 13;
+
+fn grid() -> Vec<HenriesPerMeter> {
+    rlckit_numeric::grid::linspace(0.0, 4.95, GRID_POINTS)
+        .into_iter()
+        .map(HenriesPerMeter::from_nano_per_milli)
+        .collect()
+}
+
+fn sweep_outcomes(policy: &RetryPolicy, parallelism: Parallelism) -> Vec<PointOutcome<SweepPoint>> {
+    let node = TechNode::nm100();
+    inductance_sweep_outcomes(
+        &node.line(),
+        &node.driver(),
+        grid(),
+        OptimizerOptions::default(),
+        policy,
+        parallelism,
+    )
+    .expect("campaign engine failure")
+}
+
+fn point_bits(p: &SweepPoint) -> [u64; 9] {
+    [
+        p.inductance.get().to_bits(),
+        p.h_opt.to_bits(),
+        p.k_opt.to_bits(),
+        p.delay_per_length.to_bits(),
+        p.h_ratio.to_bits(),
+        p.k_ratio.to_bits(),
+        p.l_crit.to_bits(),
+        match p.damping {
+            Damping::Overdamped => 0,
+            Damping::CriticallyDamped => 1,
+            Damping::Underdamped => 2,
+        },
+        p.rc_design_delay_per_length.to_bits(),
+    ]
+}
+
+fn temp_checkpoint(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "rlckit-fault-tolerance-{name}-{}.partial.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Seed for armed runs; chosen so a 10 % rate actually injects into
+/// this grid (asserted below, not assumed).
+const FAULT_SEED: u64 = 2001;
+
+#[test]
+fn armed_campaign_is_bit_identical_to_clean_run() {
+    let _guard = locked();
+    rlckit_fault::disarm();
+    let clean: Vec<SweepPoint> = sweep_outcomes(&RetryPolicy::default(), Parallelism::Serial)
+        .into_iter()
+        .map(|o| o.into_result().expect("clean run must converge"))
+        .collect();
+
+    rlckit_fault::arm(FAULT_SEED, 0.10);
+    let before = rlckit_trace::snapshot();
+    let armed = sweep_outcomes(&RetryPolicy::default(), Parallelism::Serial);
+    let delta = rlckit_trace::snapshot().since(&before);
+    rlckit_fault::disarm();
+
+    assert!(
+        delta.counters_ending_with(".injected_faults") > 0,
+        "seed {FAULT_SEED} at 10 % must inject into this grid — pick another seed"
+    );
+    assert_eq!(
+        delta.counter("campaign.points_failed"),
+        0,
+        "the default retry ladder must absorb every injected fault"
+    );
+    assert_eq!(
+        delta.counter("optimizer.degraded"),
+        0,
+        "transient faults must be retried on the rigorous path, not degraded"
+    );
+    assert!(
+        armed
+            .iter()
+            .any(|o| matches!(o, PointOutcome::Retried { .. })),
+        "at least one point must be recorded as retried"
+    );
+
+    assert_eq!(armed.len(), clean.len());
+    for (i, (a, c)) in armed.iter().zip(&clean).enumerate() {
+        let a = a.value().expect("armed run must have a value");
+        assert_eq!(
+            point_bits(a),
+            point_bits(c),
+            "point {i}: armed run drifted from the clean run"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_agree_bit_for_bit_under_faults() {
+    let _guard = locked();
+    rlckit_fault::arm(FAULT_SEED, 0.10);
+    let serial = sweep_outcomes(&RetryPolicy::default(), Parallelism::Serial);
+    let threaded = sweep_outcomes(&RetryPolicy::default(), Parallelism::Threads(3));
+    rlckit_fault::disarm();
+
+    assert_eq!(serial.len(), threaded.len());
+    for (i, (s, t)) in serial.iter().zip(&threaded).enumerate() {
+        match (s, t) {
+            (PointOutcome::Failed { .. }, PointOutcome::Failed { .. }) => {}
+            _ => {
+                let (sv, tv) = (s.value(), t.value());
+                assert_eq!(
+                    sv.map(point_bits),
+                    tv.map(point_bits),
+                    "point {i}: thread count changed the numbers"
+                );
+            }
+        }
+        assert_eq!(
+            std::mem::discriminant(s),
+            std::mem::discriminant(t),
+            "point {i}: thread count changed the outcome kind"
+        );
+    }
+}
+
+#[test]
+fn failed_points_are_isolated_from_their_neighbours() {
+    let _guard = locked();
+    rlckit_fault::disarm();
+    // A policy with no retry budget and no fallback: the first injected
+    // fault at a point becomes a recorded failure.
+    let brittle = RetryPolicy {
+        max_transient_retries: 0,
+        max_restarts: 0,
+        nelder_mead_fallback: false,
+        ..RetryPolicy::default()
+    };
+    let clean: Vec<SweepPoint> = sweep_outcomes(&brittle, Parallelism::Serial)
+        .into_iter()
+        .map(|o| o.into_result().expect("clean run must converge"))
+        .collect();
+
+    rlckit_fault::arm(FAULT_SEED, 0.5);
+    let armed = sweep_outcomes(&brittle, Parallelism::Serial);
+    rlckit_fault::disarm();
+
+    let failed = armed.iter().filter(|o| o.is_failed()).count();
+    assert!(
+        failed >= 1,
+        "50 % injection with a zero-retry policy must fail some points"
+    );
+    assert!(failed < armed.len(), "some points must still converge");
+    for (i, (a, c)) in armed.iter().zip(&clean).enumerate() {
+        if let Some(a) = a.value() {
+            assert_eq!(
+                point_bits(a),
+                point_bits(c),
+                "point {i}: a neighbouring failure changed a surviving point"
+            );
+        }
+    }
+    // The legacy error-propagating shape: campaigns surface a typed
+    // error (never a panic), preserving earliest-index-wins semantics.
+    let legacy: Result<Vec<SweepPoint>, _> = armed
+        .into_iter()
+        .map(PointOutcome::into_result)
+        .collect();
+    assert!(legacy.is_err(), "failed points must surface as Err");
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_campaign() {
+    let _guard = locked();
+    rlckit_fault::disarm();
+    let node = TechNode::nm250();
+    let n = 9;
+    let uninterrupted = standard_node_sweep(&node, n).expect("plain sweep");
+
+    // A full checkpointed run must match the plain engine bit-for-bit.
+    let path = temp_checkpoint("resume");
+    let full = standard_node_sweep_resumable(&node, n, &path).expect("checkpointed sweep");
+    assert_eq!(full.len(), uninterrupted.len());
+    for (f, u) in full.iter().zip(&uninterrupted) {
+        assert_eq!(point_bits(f), point_bits(u));
+    }
+
+    // Simulate a kill: keep the header and the first three point lines,
+    // then a torn partial line where the process died mid-write.
+    let kept = 3usize;
+    let contents = std::fs::read_to_string(&path).expect("checkpoint readable");
+    let mut truncated: String = contents
+        .lines()
+        .take(1 + kept)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    truncated.push_str("{\"type\":\"point\",\"index\":7,\"wor");
+    std::fs::write(&path, truncated).expect("truncate checkpoint");
+
+    let before = rlckit_trace::snapshot();
+    let resumed = standard_node_sweep_resumable(&node, n, &path).expect("resumed sweep");
+    let delta = rlckit_trace::snapshot().since(&before);
+    assert_eq!(
+        delta.counter("sweeps.checkpoint.skipped"),
+        kept as u64,
+        "resume must skip exactly the surviving points"
+    );
+    assert_eq!(
+        delta.counter("sweeps.checkpoint.streamed"),
+        (n - kept) as u64,
+        "resume must recompute exactly the missing points"
+    );
+    for (i, (r, u)) in resumed.iter().zip(&uninterrupted).enumerate() {
+        assert_eq!(
+            point_bits(r),
+            point_bits(u),
+            "point {i}: kill-and-resume drifted from the uninterrupted run"
+        );
+    }
+
+    // A re-run over the complete file serves everything from the
+    // checkpoint.
+    let before = rlckit_trace::snapshot();
+    let memoized = standard_node_sweep_resumable(&node, n, &path).expect("memoized sweep");
+    let delta = rlckit_trace::snapshot().since(&before);
+    assert_eq!(delta.counter("sweeps.checkpoint.skipped"), n as u64);
+    assert_eq!(delta.counter("sweeps.checkpoint.streamed"), 0);
+    for (m, u) in memoized.iter().zip(&uninterrupted) {
+        assert_eq!(point_bits(m), point_bits(u));
+    }
+
+    // Kill-and-resume under armed fault injection: scope keys are the
+    // original grid indices, so the resumed points still reproduce the
+    // clean bits.
+    std::fs::write(
+        &path,
+        contents
+            .lines()
+            .take(1 + kept)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>(),
+    )
+    .expect("truncate checkpoint again");
+    rlckit_fault::arm(FAULT_SEED, 0.10);
+    let armed_resume = standard_node_sweep_resumable(&node, n, &path).expect("armed resume");
+    rlckit_fault::disarm();
+    for (i, (r, u)) in armed_resume.iter().zip(&uninterrupted).enumerate() {
+        assert_eq!(
+            point_bits(r),
+            point_bits(u),
+            "point {i}: armed resume drifted from the uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn retry_and_degraded_counters_split_the_two_ladders() {
+    let _guard = locked();
+
+    // Transient faults: retried on the rigorous path, never degraded.
+    rlckit_fault::arm(7, 1.0);
+    let node = TechNode::nm100();
+    let line = LineRlc::new(
+        node.line().resistance,
+        HenriesPerMeter::from_nano_per_milli(2.0),
+        node.line().capacitance,
+    );
+    let before = rlckit_trace::snapshot();
+    let retried = rlckit_fault::with_scope(0, || {
+        optimize_rlc_with_retry(
+            &line,
+            &node.driver(),
+            OptimizerOptions::default(),
+            &RetryPolicy::default(),
+        )
+    })
+    .expect("transient fault must be absorbed");
+    let delta = rlckit_trace::snapshot().since(&before);
+    rlckit_fault::disarm();
+    assert!(retried.restarts > 0, "the solve must record its retry");
+    assert!(!retried.used_fallback);
+    assert!(delta.counter("optimizer.retries") > 0);
+    assert_eq!(delta.counter("optimizer.degraded"), 0);
+
+    // And the retried result carries the exact clean-run bits.
+    let clean = rlckit::optimizer::optimize_rlc(&line, &node.driver(), OptimizerOptions::default())
+        .expect("clean solve");
+    assert_eq!(
+        retried.segment_length.get().to_bits(),
+        clean.segment_length.get().to_bits()
+    );
+    assert_eq!(
+        retried.repeater_size.to_bits(),
+        clean.repeater_size.to_bits()
+    );
+    assert_eq!(
+        retried.segment_delay.get().to_bits(),
+        clean.segment_delay.get().to_bits()
+    );
+
+    // Genuine numerical failure: perturbed restarts, then degradation.
+    let starved = OptimizerOptions {
+        max_iterations: 1,
+        ..OptimizerOptions::default()
+    };
+    let before = rlckit_trace::snapshot();
+    let degraded = optimize_rlc_with_retry(
+        &line,
+        &node.driver(),
+        starved,
+        &RetryPolicy::default(),
+    )
+    .expect("fallback must rescue the starved solve");
+    let delta = rlckit_trace::snapshot().since(&before);
+    assert!(degraded.used_fallback, "one Newton step cannot converge");
+    assert_eq!(
+        degraded.restarts,
+        RetryPolicy::default().max_restarts,
+        "every perturbed restart must be spent before degrading"
+    );
+    assert_eq!(
+        delta.counter("optimizer.retries"),
+        u64::from(RetryPolicy::default().max_restarts)
+    );
+    assert_eq!(delta.counter("optimizer.degraded"), 1);
+    assert_eq!(delta.counter("optimizer.fallbacks"), 1);
+}
+
+#[test]
+fn property_any_fault_seed_preserves_the_clean_bits() {
+    let _guard = locked();
+    rlckit_fault::disarm();
+    let node = TechNode::nm100();
+    let small_grid: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(0.5, 4.5, 5)
+        .into_iter()
+        .map(HenriesPerMeter::from_nano_per_milli)
+        .collect();
+    let run = |parallelism| {
+        inductance_sweep_outcomes(
+            &node.line(),
+            &node.driver(),
+            small_grid.iter().copied(),
+            OptimizerOptions::default(),
+            &RetryPolicy::default(),
+            parallelism,
+        )
+        .expect("campaign engine failure")
+    };
+    let clean: Vec<[u64; 9]> = run(Parallelism::Serial)
+        .iter()
+        .map(|o| point_bits(o.value().expect("clean run must converge")))
+        .collect();
+
+    rlckit_check::Check::new().cases(4).seed(0xFA17).run(
+        &rlckit_check::gen::usize_range(0, 1 << 48),
+        |&fault_seed| {
+            rlckit_fault::arm(fault_seed as u64, 0.25);
+            let serial = run(Parallelism::Serial);
+            let threaded = run(Parallelism::Threads(2));
+            rlckit_fault::disarm();
+            for (i, (s, t)) in serial.iter().zip(&threaded).enumerate() {
+                let s = s.value().expect("default ladder must absorb faults");
+                let t = t.value().expect("default ladder must absorb faults");
+                assert_eq!(point_bits(s), clean[i], "seed {fault_seed:#x}: point {i}");
+                assert_eq!(point_bits(t), clean[i], "seed {fault_seed:#x}: point {i}");
+            }
+        },
+    );
+    rlckit_fault::disarm();
+}

@@ -1,0 +1,428 @@
+//! Deterministic seeded fault injection for the `rlckit` workspace.
+//!
+//! Solver entry points carry [`faultpoint!`] sites. Disarmed (the
+//! default), a site costs one relaxed atomic load plus a `OnceLock`
+//! read and injects nothing. Armed — via `RLCKIT_FAULTS=<seed>:<rate>`
+//! or programmatically with [`arm`] — each *scope* (one campaign point,
+//! keyed by its grid index) deterministically either stays clean or
+//! takes **exactly one** injected fault at a seed-chosen faultpoint hit,
+//! and only on the scope's **first attempt**. Retrying the scope (after
+//! [`next_attempt`]) therefore re-runs a pure computation with no
+//! injection, which is what makes retried campaign points bit-identical
+//! to an uninterrupted clean run.
+//!
+//! The decision for a scope depends only on `(seed, key)` — not on
+//! thread assignment, global call order, or how many other scopes ran
+//! before it — so serial and parallel campaigns inject identically, and
+//! a checkpoint-resumed campaign re-injects exactly what the killed run
+//! would have seen.
+//!
+//! # Environment
+//!
+//! `RLCKIT_FAULTS=<seed>:<rate>` with `seed` a decimal (or `0x`-hex)
+//! `u64` and `rate` a fraction in `[0, 1]` of scopes that take a fault.
+//! A malformed value disarms injection (fail-safe) and prints a single
+//! warning to stderr.
+//!
+//! Mirrors the `rlckit-trace` arming pattern: env `OnceLock` +
+//! programmatic atomic override ([`arm`]/[`disarm`]/[`follow_env`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_fault::{arm, disarm, faultpoint, with_scope, next_attempt};
+//!
+//! arm(7, 1.0); // every scope faults, at a seed-chosen hit
+//! let fired = with_scope(0, || {
+//!     let mut fired = false;
+//!     for _ in 0..64 {
+//!         fired |= faultpoint!("doc.example");
+//!     }
+//!     // A retry of the same scope injects nothing.
+//!     next_attempt();
+//!     for _ in 0..64 {
+//!         assert!(!faultpoint!("doc.example"));
+//!     }
+//!     fired
+//! });
+//! assert!(fired);
+//! disarm();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[doc(hidden)]
+pub use rlckit_trace as __trace;
+
+/// Number of faultpoint hits a scope's single injection can land on.
+///
+/// The target hit index is drawn uniformly from `0..TARGET_WINDOW`; a
+/// scope whose computation performs fewer hits than its target simply
+/// stays clean, so the effective fault rate is slightly below the
+/// configured one for short scopes. One `rlckit` sweep point performs
+/// roughly 40–80 hits (optimizer entry plus every inner delay solve),
+/// so 64 spreads injections across the whole solve ladder.
+pub const TARGET_WINDOW: u32 = 64;
+
+// Programmatic override, mirroring rlckit-trace's FORCED pattern:
+// 0 = follow the environment, 1 = forced armed, 2 = forced disarmed.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static FORCED_SEED: AtomicU64 = AtomicU64::new(0);
+static FORCED_RATE_BITS: AtomicU64 = AtomicU64::new(0);
+
+/// Per-thread injection scope. `key` identifies the campaign point,
+/// `attempt` counts retries (injection fires only at attempt 0), `hits`
+/// counts faultpoint passes within the current attempt, and `poisoned`
+/// records that this attempt took an injection — consulted by solvers
+/// whose callers swallow typed errors into NaN/∞ objective values.
+#[derive(Clone, Copy)]
+struct Scope {
+    key: u64,
+    attempt: u32,
+    hits: u32,
+    poisoned: bool,
+}
+
+impl Scope {
+    const fn root() -> Self {
+        Self {
+            key: 0,
+            attempt: 0,
+            hits: 0,
+            poisoned: false,
+        }
+    }
+}
+
+thread_local! {
+    static SCOPE: Cell<Scope> = const { Cell::new(Scope::root()) };
+}
+
+fn env_config() -> Option<(u64, f64)> {
+    static CONFIG: OnceLock<Option<(u64, f64)>> = OnceLock::new();
+    *CONFIG.get_or_init(|| {
+        let raw = std::env::var("RLCKIT_FAULTS").ok()?;
+        match parse_spec(&raw) {
+            Some(cfg) => Some(cfg),
+            None => {
+                eprintln!(
+                    "rlckit-fault: ignoring malformed RLCKIT_FAULTS={raw:?} \
+                     (want <seed>:<rate> with rate in [0, 1]); injection stays disarmed"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// Parses `<seed>:<rate>` (seed decimal or `0x`-hex; rate in `[0, 1]`).
+fn parse_spec(raw: &str) -> Option<(u64, f64)> {
+    let (seed_str, rate_str) = raw.split_once(':')?;
+    let seed_str = seed_str.trim();
+    let seed = match seed_str.strip_prefix("0x").or_else(|| seed_str.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok()?,
+        None => seed_str.parse().ok()?,
+    };
+    let rate: f64 = rate_str.trim().parse().ok()?;
+    if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+        return None;
+    }
+    Some((seed, rate))
+}
+
+fn config() -> Option<(u64, f64)> {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Some((
+            FORCED_SEED.load(Ordering::Relaxed),
+            f64::from_bits(FORCED_RATE_BITS.load(Ordering::Relaxed)),
+        )),
+        2 => None,
+        _ => env_config(),
+    }
+}
+
+/// Arms injection process-wide, overriding `RLCKIT_FAULTS`.
+pub fn arm(seed: u64, rate: f64) {
+    FORCED_SEED.store(seed, Ordering::Relaxed);
+    FORCED_RATE_BITS.store(rate.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    FORCED.store(1, Ordering::Relaxed);
+}
+
+/// Disarms injection process-wide, overriding `RLCKIT_FAULTS`.
+pub fn disarm() {
+    FORCED.store(2, Ordering::Relaxed);
+}
+
+/// Reverts [`arm`]/[`disarm`] so the environment decides again.
+pub fn follow_env() {
+    FORCED.store(0, Ordering::Relaxed);
+}
+
+/// Whether injection is currently armed with a nonzero rate.
+#[must_use]
+pub fn armed() -> bool {
+    config().is_some_and(|(_, rate)| rate > 0.0)
+}
+
+// SplitMix64 finalizer: the standard avalanche mix, also used (via the
+// full generator) by rlckit_numeric::rng. Re-implemented here because
+// this crate must sit *below* rlckit-numeric in the dependency graph.
+fn mix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The injection plan for a scope: `None` if the scope stays clean,
+/// otherwise the faultpoint hit index (within attempt 0) that faults.
+/// Depends only on `(seed, rate, key)`.
+fn plan(seed: u64, rate: f64, key: u64) -> Option<u32> {
+    let h = mix(mix(seed) ^ key);
+    // 53 uniform mantissa bits, as in rlckit_numeric::rng::next_f64.
+    let uniform = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if uniform >= rate {
+        return None;
+    }
+    Some((mix(h) % u64::from(TARGET_WINDOW)) as u32)
+}
+
+/// Runs `f` inside the injection scope `key`, restoring the previous
+/// scope afterwards (also on panic). Campaign engines call this once
+/// per point with the point's *original* grid index, which is what
+/// keeps injection decisions stable across serial/parallel execution
+/// and checkpoint resume.
+pub fn with_scope<R>(key: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Scope);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPE.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = SCOPE.with(|cell| {
+        let previous = cell.get();
+        cell.set(Scope {
+            key,
+            attempt: 0,
+            hits: 0,
+            poisoned: false,
+        });
+        previous
+    });
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Advances the current scope to its next attempt: resets the hit
+/// counter, clears the poison flag, and — because injection fires only
+/// at attempt 0 — guarantees the re-run is injection-free. Retry
+/// ladders call this after consuming an injected failure. No-op when
+/// disarmed.
+pub fn next_attempt() {
+    if !armed() {
+        return;
+    }
+    SCOPE.with(|cell| {
+        let mut scope = cell.get();
+        scope.attempt = scope.attempt.saturating_add(1);
+        scope.hits = 0;
+        scope.poisoned = false;
+        cell.set(scope);
+    });
+}
+
+/// Whether the current scope's current attempt has taken an injection.
+///
+/// Solvers whose objective closures swallow typed errors (mapping them
+/// to NaN or ∞) consult this before *accepting* a result, so an
+/// injected fault can never silently perturb a "successful" solve; and
+/// retry ladders consult it to classify an otherwise type-erased
+/// failure as transient.
+#[must_use]
+pub fn poisoned() -> bool {
+    armed() && SCOPE.with(|cell| cell.get().poisoned)
+}
+
+/// Decides whether the faultpoint being passed right now injects.
+/// Prefer the [`faultpoint!`] macro, which also counts the injection
+/// under `<site>.injected_faults`.
+#[must_use]
+pub fn should_inject(_site: &'static str) -> bool {
+    let Some((seed, rate)) = config() else {
+        return false;
+    };
+    if rate <= 0.0 {
+        return false;
+    }
+    SCOPE.with(|cell| {
+        let mut scope = cell.get();
+        let hit = scope.hits;
+        scope.hits = scope.hits.saturating_add(1);
+        let fire =
+            scope.attempt == 0 && !scope.poisoned && plan(seed, rate, scope.key) == Some(hit);
+        if fire {
+            scope.poisoned = true;
+        }
+        cell.set(scope);
+        fire
+    })
+}
+
+/// A named fault-injection site. Evaluates to `true` when the armed
+/// plan injects at this pass, incrementing the site's
+/// `<site>.injected_faults` trace counter; `false` (a cheap load) when
+/// disarmed or when the plan says this pass stays clean.
+///
+/// ```
+/// use rlckit_fault::faultpoint;
+///
+/// // Disarmed by default: never fires.
+/// assert!(!faultpoint!("doc.site"));
+/// ```
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:literal) => {{
+        let fire = $crate::should_inject($site);
+        if fire {
+            $crate::__trace::counter!(concat!($site, ".injected_faults")).incr();
+        }
+        fire
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Tests mutate the process-wide FORCED state; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = f();
+        disarm();
+        result
+    }
+
+    #[test]
+    fn parse_accepts_decimal_and_hex_seeds() {
+        assert_eq!(parse_spec("42:0.25"), Some((42, 0.25)));
+        assert_eq!(parse_spec("0xFF:1"), Some((255, 1.0)));
+        assert_eq!(parse_spec(" 7 : 0.5 "), Some((7, 0.5)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["", "42", "x:0.5", "42:1.5", "42:-0.1", "42:NaN", "42:inf"] {
+            assert_eq!(parse_spec(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn disarmed_never_injects() {
+        locked(|| {
+            disarm();
+            with_scope(3, || {
+                for _ in 0..200 {
+                    assert!(!should_inject("test.site"));
+                }
+            });
+            assert!(!armed());
+            assert!(!poisoned());
+        });
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_rate_bounded() {
+        let hits: Vec<Option<u32>> = (0..1000).map(|k| plan(99, 0.3, k)).collect();
+        assert_eq!(hits, (0..1000).map(|k| plan(99, 0.3, k)).collect::<Vec<_>>());
+        let faulted = hits.iter().filter(|h| h.is_some()).count();
+        // 30 % of 1000 scopes, generously bracketed.
+        assert!((200..400).contains(&faulted), "{faulted} faulted scopes");
+        for hit in hits.into_iter().flatten() {
+            assert!(hit < TARGET_WINDOW);
+        }
+        // Rate 1.0 faults every scope; rate 0 faults none.
+        assert!((0..100).all(|k| plan(5, 1.0, k).is_some()));
+        assert!((0..100).all(|k| plan(5, 0.0, k).is_none()));
+    }
+
+    #[test]
+    fn injection_fires_exactly_once_and_only_on_attempt_zero() {
+        locked(|| {
+            arm(11, 1.0);
+            with_scope(0, || {
+                let target = plan(11, 1.0, 0).expect("rate 1.0 faults every scope");
+                let mut fired_at = Vec::new();
+                for hit in 0..TARGET_WINDOW {
+                    if should_inject("test.site") {
+                        fired_at.push(hit);
+                    }
+                }
+                assert_eq!(fired_at, vec![target]);
+                assert!(poisoned());
+                next_attempt();
+                assert!(!poisoned());
+                for _ in 0..TARGET_WINDOW {
+                    assert!(!should_inject("test.site"), "attempt 1 must stay clean");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn scopes_are_independent_and_restored() {
+        locked(|| {
+            arm(11, 1.0);
+            with_scope(1, || {
+                while !should_inject("test.site") {}
+                assert!(poisoned());
+                // A nested scope starts clean and restores the outer
+                // poison state on exit.
+                with_scope(2, || assert!(!poisoned()));
+                assert!(poisoned());
+            });
+            // Outside the scope, the root scope is back.
+            assert!(!poisoned());
+        });
+    }
+
+    #[test]
+    fn arm_overrides_and_follow_env_reverts() {
+        locked(|| {
+            arm(1, 0.5);
+            assert!(armed());
+            disarm();
+            assert!(!armed());
+            follow_env();
+            // No RLCKIT_FAULTS in the test environment: disarmed.
+            assert!(!armed());
+        });
+    }
+
+    #[test]
+    fn faultpoint_macro_counts_per_site() {
+        locked(|| {
+            arm(23, 1.0);
+            let before = rlckit_trace::snapshot();
+            let fired = with_scope(4, || {
+                let mut fired = 0u32;
+                for _ in 0..TARGET_WINDOW {
+                    if faultpoint!("fault.selftest") {
+                        fired += 1;
+                    }
+                }
+                fired
+            });
+            assert_eq!(fired, 1);
+            let delta = rlckit_trace::snapshot().since(&before);
+            assert_eq!(delta.counter("fault.selftest.injected_faults"), 1);
+        });
+    }
+}

@@ -64,7 +64,21 @@ pub mod stats;
 mod error;
 
 pub use complex::Complex;
-pub use error::NumericError;
+pub use error::{FailureClass, NumericError};
 
 /// Convenient result alias for fallible numeric routines.
 pub type Result<T> = core::result::Result<T, NumericError>;
+
+/// Fail-stop guard for solvers whose objective closures may swallow a
+/// typed error into a NaN/∞ value (the RLC optimizer's residuals, the
+/// planner's delay objective): if the current `rlckit-fault` scope took
+/// an injection during this attempt, surface it as a typed
+/// [`NumericError::InjectedFault`] instead of letting the solver
+/// "recover" onto a perturbed path and accept a silently drifted
+/// result. A no-op load when injection is disarmed.
+pub(crate) fn injected_abort(site: &'static str) -> Result<()> {
+    if rlckit_fault::poisoned() {
+        return Err(NumericError::InjectedFault { site });
+    }
+    Ok(())
+}

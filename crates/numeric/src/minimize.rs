@@ -50,6 +50,11 @@ pub fn golden_section(
             "invalid golden-section interval [{lo}, {hi}]"
         )));
     }
+    if rlckit_fault::faultpoint!("minimize.golden_section") {
+        return Err(NumericError::InjectedFault {
+            site: "minimize.golden_section",
+        });
+    }
     const INV_PHI: f64 = 0.618_033_988_749_894_9;
     let mut a = lo;
     let mut b = hi;
@@ -76,6 +81,10 @@ pub fn golden_section(
     }
     let x = 0.5 * (a + b);
     let value = f(x);
+    // Fail-stop: callers map delay-solver errors to ∞, so an injected
+    // fault inside an objective evaluation would otherwise skew the
+    // bracket walk and return a silently drifted minimum.
+    crate::injected_abort("minimize.golden_section")?;
     counter!("minimize.golden_section.calls").incr();
     histogram!("minimize.golden_section.evaluations").observe((evaluations + 1) as u64);
     Ok(Minimum {
@@ -127,6 +136,11 @@ pub fn nelder_mead(
             "empty starting point".to_string(),
         ));
     }
+    if rlckit_fault::faultpoint!("minimize.nelder_mead") {
+        return Err(NumericError::InjectedFault {
+            site: "minimize.nelder_mead",
+        });
+    }
     // Standard coefficients.
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
 
@@ -172,6 +186,9 @@ pub fn nelder_mead(
                         .fold(0.0f64, f64::max)
                         .max(1.0)
         {
+            // Fail-stop: objectives swallow errors into ∞, so a
+            // poisoned attempt must not be accepted as converged.
+            crate::injected_abort("minimize.nelder_mead")?;
             counter!("minimize.nelder_mead.calls").incr();
             histogram!("minimize.nelder_mead.evaluations").observe(evaluations as u64);
             return Ok(Minimum {

@@ -71,8 +71,9 @@ pub struct Root {
 /// # Errors
 ///
 /// Returns [`NumericError::NoConvergence`] if the iteration budget is
-/// exhausted, and [`NumericError::InvalidInput`] if the derivative
-/// vanishes or an iterate becomes non-finite.
+/// exhausted, [`NumericError::InvalidInput`] if the derivative
+/// vanishes, and [`NumericError::NonFiniteResidual`] if an iterate or
+/// residual becomes non-finite.
 ///
 /// # Examples
 ///
@@ -93,6 +94,11 @@ pub fn newton_raphson(
     options: RootOptions,
 ) -> Result<Root> {
     counter!("roots.newton_raphson.solves").incr();
+    if rlckit_fault::faultpoint!("roots.newton_raphson") {
+        return Err(NumericError::InjectedFault {
+            site: "roots.newton_raphson",
+        });
+    }
     let result = newton_raphson_impl(f, df, x0, options);
     tally_root(
         histogram!("roots.newton_raphson.iterations"),
@@ -112,9 +118,7 @@ fn newton_raphson_impl(
     for iteration in 1..=options.max_iterations {
         let fx = f(x);
         if !fx.is_finite() {
-            return Err(NumericError::InvalidInput(format!(
-                "residual became non-finite at x = {x:.6e}"
-            )));
+            return Err(NumericError::NonFiniteResidual { at: x, iteration });
         }
         if fx.abs() <= options.f_tol {
             return Ok(Root {
@@ -132,9 +136,7 @@ fn newton_raphson_impl(
         let step = fx / dfx;
         x -= step;
         if !x.is_finite() {
-            return Err(NumericError::InvalidInput(
-                "iterate became non-finite".to_string(),
-            ));
+            return Err(NumericError::NonFiniteResidual { at: x, iteration });
         }
         if step.abs() <= options.x_tol * x.abs().max(1.0) {
             return Ok(Root {
@@ -384,6 +386,11 @@ pub fn newton_bracketed(
     options: RootOptions,
 ) -> Result<Root> {
     counter!("roots.newton_bracketed.solves").incr();
+    if rlckit_fault::faultpoint!("roots.newton_bracketed") {
+        return Err(NumericError::InjectedFault {
+            site: "roots.newton_bracketed",
+        });
+    }
     let result = newton_bracketed_impl(f, df, lo, hi, options);
     tally_root(
         histogram!("roots.newton_bracketed.iterations"),
@@ -499,7 +506,7 @@ pub struct SystemRoot {
 ///
 /// Returns [`NumericError::NoConvergence`] on budget exhaustion,
 /// [`NumericError::SingularMatrix`] if the Jacobian is singular, or
-/// [`NumericError::InvalidInput`] if residuals become non-finite.
+/// [`NumericError::NonFiniteResidual`] if residuals become non-finite.
 pub fn newton_system(
     f: impl FnMut(&[f64], &mut [f64]),
     jac: impl FnMut(&[f64], &mut crate::dense::Matrix),
@@ -507,6 +514,11 @@ pub fn newton_system(
     options: RootOptions,
 ) -> Result<SystemRoot> {
     counter!("roots.newton_system.solves").incr();
+    if rlckit_fault::faultpoint!("roots.newton_system") {
+        return Err(NumericError::InjectedFault {
+            site: "roots.newton_system",
+        });
+    }
     let result = newton_system_impl(f, jac, x0, options);
     match &result {
         Ok(root) => {
@@ -533,12 +545,14 @@ fn newton_system_impl(
     let inf_norm = |v: &[f64]| v.iter().fold(0.0f64, |m, &a| m.max(a.abs()));
 
     f(&x, &mut residual);
+    crate::injected_abort("roots.newton_system")?;
     let mut rnorm = inf_norm(&residual);
     for iteration in 1..=options.max_iterations {
         if !rnorm.is_finite() {
-            return Err(NumericError::InvalidInput(
-                "system residual became non-finite".to_string(),
-            ));
+            return Err(NumericError::NonFiniteResidual {
+                at: inf_norm(&x),
+                iteration,
+            });
         }
         if rnorm <= options.f_tol {
             return Ok(SystemRoot {
@@ -548,6 +562,7 @@ fn newton_system_impl(
             });
         }
         jac(&x, &mut jacobian);
+        crate::injected_abort("roots.newton_system")?;
         let step = jacobian.lu()?.solve(&residual)?;
 
         // Backtracking line search on the residual norm.
@@ -560,6 +575,11 @@ fn newton_system_impl(
                 trial[i] = x[i] - lambda * step[i];
             }
             f(&trial, &mut trial_res);
+            // An injected fault inside a trial evaluation surfaces as a
+            // NaN residual here; without this fail-stop the next
+            // halving would re-evaluate cleanly and the solve would
+            // "recover" onto a different (bit-drifted) iterate path.
+            crate::injected_abort("roots.newton_system")?;
             let tnorm = inf_norm(&trial_res);
             if tnorm.is_finite() && tnorm < rnorm {
                 x.copy_from_slice(&trial);

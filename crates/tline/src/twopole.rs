@@ -209,6 +209,11 @@ impl TwoPole {
             )));
         }
         counter!("twopole.delay.solves").incr();
+        if rlckit_fault::faultpoint!("twopole.delay") {
+            return Err(NumericError::InjectedFault {
+                site: "twopole.delay",
+            });
+        }
         // The response rises monotonically from 0 towards its first
         // maximum (underdamped) or towards 1 (otherwise), so the first
         // crossing is unique inside the bracket below.

@@ -21,12 +21,43 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # CI. The trace summary prints only nonzero metrics, so any
 # `*.no_convergence` line means a campaign-level solver failure.
 smoke_log="$(mktemp)"
-trap 'rm -f "$smoke_log"' EXIT
+fault_log="$(mktemp)"
+fault_clean="$(mktemp -d)"
+fault_armed="$(mktemp -d)"
+trap 'rm -f "$smoke_log" "$fault_log"; rm -rf "$fault_clean" "$fault_armed"' EXIT
 RLCKIT_BENCH_SMOKE=1 RLCKIT_TRACE=summary cargo bench --offline --workspace 2>&1 \
   | tee "$smoke_log"
 if grep -q '\.no_convergence' "$smoke_log"; then
   echo "tier-1 gate: FAIL — nonzero no_convergence counter in bench smoke" >&2
   exit 1
 fi
+
+# Fault-injection smoke: arm deterministic injection (fixed seed, 10 %
+# rate) over the Fig. 4-8 campaign grids. Every campaign must complete
+# with the retry ladder absorbing every injection — the armed trace
+# summary must show a nonzero `*.injected_faults` family and no
+# `*.no_convergence` counter — and the emitted CSVs must be
+# byte-identical to a clean run of the same bin.
+for bin in fig04_lcrit fig05_hopt_ratio fig06_kopt_ratio fig07_delay_ratio fig08_variation; do
+  RLCKIT_RESULTS_DIR="$fault_clean" \
+    cargo run --release --offline -q -p rlckit-bench --bin "$bin" >/dev/null
+  RLCKIT_RESULTS_DIR="$fault_armed" RLCKIT_FAULTS=2001:0.1 RLCKIT_TRACE=summary \
+    cargo run --release --offline -q -p rlckit-bench --bin "$bin" >/dev/null 2>"$fault_log"
+  if ! grep -q 'injected_faults' "$fault_log"; then
+    echo "tier-1 gate: FAIL — $bin took no injected faults (harness disarmed?)" >&2
+    exit 1
+  fi
+  if grep -q '\.no_convergence' "$fault_log"; then
+    echo "tier-1 gate: FAIL — $bin surfaced no_convergence under injection" >&2
+    exit 1
+  fi
+  if ! cmp -s "$fault_clean/$bin.csv" "$fault_armed/$bin.csv"; then
+    echo "tier-1 gate: FAIL — $bin CSV drifted under fault injection" >&2
+    exit 1
+  fi
+done
+# Closed-form bins have no solver in the loop; arming must be harmless.
+RLCKIT_RESULTS_DIR="$fault_armed" RLCKIT_FAULTS=2001:0.1 \
+  cargo run --release --offline -q -p rlckit-bench --bin table1 >/dev/null
 
 echo "tier-1 gate: OK"
