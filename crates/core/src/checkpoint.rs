@@ -46,40 +46,126 @@ fn io_err(op: &str, e: &std::io::Error) -> NumericError {
     NumericError::InvalidInput(format!("checkpoint {op}: {e}"))
 }
 
-/// Parses a header line; returns `(version, fingerprint)`.
-fn parse_header_line(line: &str) -> Option<(u32, u64)> {
-    let line = line.trim();
-    if !line.starts_with('{') || !line.ends_with('}') || !line.contains("\"type\":\"header\"") {
+/// Splits one JSON object line into its top-level `key: value` pairs.
+///
+/// Tracks string state (including `\` escapes) and container depth, so
+/// a field-shaped substring inside a string value or a nested container
+/// can never be mistaken for a real field. This replaces the original
+/// raw-substring matching (`line.find("\"index\":")`), which resumed
+/// spliced torn writes as valid points — adopting one point's index
+/// with another point's words. Returns `None` for anything that is not
+/// a single well-formed `{...}` object of string-keyed fields.
+fn top_level_fields(line: &str) -> Option<Vec<(&str, &str)>> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let bytes = body.as_bytes();
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut item_start = 0usize;
+    let mut colon: Option<usize> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.checked_sub(1)?,
+            b':' if depth == 0 && colon.is_none() => colon = Some(i),
+            b',' if depth == 0 => {
+                fields.push(split_field(body, item_start, colon?, i)?);
+                item_start = i + 1;
+                colon = None;
+            }
+            _ => {}
+        }
+    }
+    if in_string || depth != 0 {
         return None;
     }
-    let rest = &line[line.find("\"version\":")? + "\"version\":".len()..];
-    let end = rest.find([',', '}'])?;
-    let version: u32 = rest[..end].trim().parse().ok()?;
-    let rest = &line[line.find("\"fingerprint\":\"0x")? + "\"fingerprint\":\"0x".len()..];
-    let end = rest.find('"')?;
-    let fingerprint = u64::from_str_radix(&rest[..end], 16).ok()?;
-    Some((version, fingerprint))
+    if item_start < bytes.len() || !fields.is_empty() || colon.is_some() {
+        fields.push(split_field(body, item_start, colon?, bytes.len())?);
+    }
+    Some(fields)
+}
+
+/// One `"key": value` item from [`top_level_fields`]; the key must be a
+/// plain quoted string (no escapes), the value is returned raw.
+fn split_field(body: &str, start: usize, colon: usize, end: usize) -> Option<(&str, &str)> {
+    let key = body[start..colon].trim();
+    let key = key.strip_prefix('"')?.strip_suffix('"')?;
+    if key.contains(['"', '\\']) {
+        return None;
+    }
+    Some((key, body[colon + 1..end].trim()))
+}
+
+/// Parses a header line; returns `(version, fingerprint)`. Strict: the
+/// line must carry exactly the `type`/`version`/`fingerprint` fields,
+/// each once — unknown or duplicated fields reject the whole line.
+fn parse_header_line(line: &str) -> Option<(u32, u64)> {
+    let mut ty = None;
+    let mut version = None;
+    let mut fingerprint = None;
+    for (key, value) in top_level_fields(line.trim())? {
+        let slot = match key {
+            "type" => &mut ty,
+            "version" => &mut version,
+            "fingerprint" => &mut fingerprint,
+            _ => return None,
+        };
+        if slot.replace(value).is_some() {
+            return None;
+        }
+    }
+    if ty? != "\"header\"" {
+        return None;
+    }
+    let version: u32 = version?.parse().ok()?;
+    let hex = fingerprint?.strip_prefix("\"0x")?.strip_suffix('"')?;
+    Some((version, u64::from_str_radix(hex, 16).ok()?))
 }
 
 /// Parses a point line; returns `(index, words)`. Any malformed or
-/// truncated line — e.g. a torn final write — yields `None`.
+/// truncated line — e.g. a torn final write — yields `None`. Strict in
+/// the same way as [`parse_header_line`]: exactly the
+/// `type`/`index`/`words` fields, each once.
 fn parse_point_line(line: &str) -> Option<(usize, Vec<u64>)> {
-    let line = line.trim();
-    if !line.starts_with('{') || !line.ends_with('}') || !line.contains("\"type\":\"point\"") {
+    let mut ty = None;
+    let mut index = None;
+    let mut words = None;
+    for (key, value) in top_level_fields(line.trim())? {
+        let slot = match key {
+            "type" => &mut ty,
+            "index" => &mut index,
+            "words" => &mut words,
+            _ => return None,
+        };
+        if slot.replace(value).is_some() {
+            return None;
+        }
+    }
+    if ty? != "\"point\"" {
         return None;
     }
-    let rest = &line[line.find("\"index\":")? + "\"index\":".len()..];
-    let end = rest.find([',', '}'])?;
-    let index: usize = rest[..end].trim().parse().ok()?;
-    let rest = &line[line.find("\"words\":[")? + "\"words\":[".len()..];
-    let body = &rest[..rest.find(']')?];
-    let mut words = Vec::new();
-    for token in body.split(',') {
-        let token = token.trim().trim_matches('"');
-        let hex = token.strip_prefix("0x")?;
-        words.push(u64::from_str_radix(hex, 16).ok()?);
+    let index: usize = index?.parse().ok()?;
+    let body = words?.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    if !body.trim().is_empty() {
+        for token in body.split(',') {
+            let hex = token.trim().strip_prefix("\"0x")?.strip_suffix('"')?;
+            out.push(u64::from_str_radix(hex, 16).ok()?);
+        }
     }
-    Some((index, words))
+    Some((index, out))
 }
 
 /// An open campaign checkpoint: an append handle plus the set of
@@ -264,6 +350,118 @@ mod tests {
         assert_eq!(done[&0], vec![1]);
         assert_eq!(done[&2], vec![2]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression test for the raw-substring parser: a torn point write
+    /// spliced with the next complete line used to parse as *valid* —
+    /// the torn prefix donated `"index":1`, the complete suffix donated
+    /// `"words":[…]` — silently resuming point 1 with point 2's bits.
+    /// This test FAILED before the field-scanner rewrite.
+    #[test]
+    fn torn_splice_cannot_adopt_another_points_words() {
+        let spliced = "{\"type\":\"point\",\"index\":1,\"wor\
+                       {\"type\":\"point\",\"index\":2,\"words\":[\"0x000000000000000b\"]}";
+        assert_eq!(
+            parse_point_line(spliced),
+            None,
+            "a spliced torn write must be dropped, not resumed with mixed fields"
+        );
+    }
+
+    /// Second pre-fix failure mode: the old parser took the *first*
+    /// `"index":` substring anywhere in the line, so an index-shaped
+    /// field inside a nested container shadowed the real one (the line
+    /// below used to parse as point 7). The strict parser rejects the
+    /// unknown `meta` field outright.
+    #[test]
+    fn nested_index_cannot_shadow_the_top_level_field() {
+        let line = "{\"type\":\"point\",\"meta\":{\"index\":7},\"index\":3,\
+                    \"words\":[\"0x0000000000000001\"]}";
+        assert_eq!(parse_point_line(line), None);
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        assert_eq!(
+            parse_point_line("{\"type\":\"point\",\"index\":1,\"index\":2,\"words\":[]}"),
+            None
+        );
+        assert_eq!(
+            parse_header_line(
+                "{\"type\":\"header\",\"version\":1,\"version\":2,\
+                 \"fingerprint\":\"0x0000000000000000\"}"
+            ),
+            None
+        );
+    }
+
+    /// Seeded adversarial fuzz of the point parser: random truncations,
+    /// splices and byte smudges of valid lines must never panic, and
+    /// whenever two *distinct* valid lines are spliced the result must
+    /// not parse at all — a spliced parse is exactly the mixed-fields
+    /// resume corruption the rewrite fixed.
+    #[test]
+    fn mangled_point_lines_never_parse_as_spliced_points() {
+        use rlckit_check::{gen, Check};
+        let valid_line = |index: usize, words: &[u64]| {
+            let mut line = format!("{{\"type\":\"point\",\"index\":{index},\"words\":[");
+            for (i, word) in words.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{word:#018x}\""));
+            }
+            line.push_str("]}");
+            line
+        };
+        Check::new().cases(200).run(
+            &gen::tuple4(
+                gen::usize_range(0, 5_000),
+                gen::vec_in(gen::usize_range(0, usize::MAX), 0, 5).map(|v| {
+                    v.into_iter().map(|w| w as u64).collect::<Vec<u64>>()
+                }),
+                gen::usize_range(0, 60), // truncation point
+                gen::usize_range(0, 4),  // mangling mode
+            ),
+            |(index, words, cut, mode)| {
+                let line = valid_line(*index, words);
+                // The untouched line must round-trip exactly.
+                assert_eq!(
+                    parse_point_line(&line),
+                    Some((*index, words.clone())),
+                    "writer output must parse back bit-for-bit"
+                );
+                let cut = (*cut).min(line.len().saturating_sub(1));
+                let mangled = match mode {
+                    // Torn write: truncated mid-line.
+                    0 => line[..cut].to_string(),
+                    // Splice: torn prefix + a different complete line.
+                    1 => format!("{}{}", &line[..cut], valid_line(index + 1, &[0xdead])),
+                    // Smudge: one byte overwritten with garbage.
+                    2 => {
+                        let mut s = line.into_bytes();
+                        s[cut] = b'\x07';
+                        String::from_utf8_lossy(&s).into_owned()
+                    }
+                    // Doubled line (lost newline between two writes).
+                    _ => format!("{}{}", line, valid_line(index + 1, &[1])),
+                };
+                // Never panic; and no mangling may yield a point whose
+                // words differ from BOTH source lines' words (that
+                // would be a fields-mixed resume). Stricter and simpler:
+                // a parse is only acceptable if it reproduces one of
+                // the two source lines exactly.
+                if let Some((i, w)) = parse_point_line(&mangled) {
+                    let first = (i, w.clone()) == (*index, words.clone());
+                    let second = matches!(*mode, 1) && (i, w.as_slice()) == (index + 1, &[0xdead][..]);
+                    assert!(
+                        first || second,
+                        "mangled line (mode {mode}, cut {cut}) parsed as a mixed point: \
+                         ({i}, {w:?}) from {mangled:?}"
+                    );
+                }
+            },
+        );
     }
 
     #[test]

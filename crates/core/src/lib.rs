@@ -31,6 +31,9 @@
 //!   retry wrapper of the fault-tolerant campaign engine.
 //! * [`checkpoint`] — JSONL checkpoint/resume for long campaigns,
 //!   bit-identical across kill-and-resume.
+//! * [`memo`] — bounded quantized-key memoization of whole-optimum
+//!   solves for serving layers (explicitly *not* used on campaign
+//!   paths, which require bit-identity).
 //!
 //! # Quickstart
 //!
@@ -65,6 +68,7 @@ pub mod baselines;
 pub mod checkpoint;
 pub mod elmore;
 pub mod failure;
+pub mod memo;
 pub mod optimizer;
 pub mod outcome;
 pub mod planner;

@@ -1,0 +1,311 @@
+//! Serving-layer memoization of whole-optimum solves.
+//!
+//! A serving front-end (an RPC handler, a notebook kernel, an
+//! interactive what-if tool) asks the same question — "optimum for this
+//! wire under this driver" — over and over with inputs that differ only
+//! in measurement noise. Each answer costs a full Newton solve with
+//! dozens of two-pole delay evaluations, so this module provides
+//! [`OptimumMemo`]: a bounded, thread-safe memo table keyed on the
+//! *quantized* bit patterns of `(r, l, c, length)` plus the exact
+//! driver and threshold bits.
+//!
+//! # Quantization — and why campaigns must not use this
+//!
+//! Keys zero the low [`QUANT_BITS`] mantissa bits of each line
+//! parameter, so two inputs within a relative ~1e-10 of each other
+//! share an entry and the second one is served from cache. That is the
+//! point of the serving layer — and exactly why **campaign paths never
+//! route through this table**: a quantized hit returns the optimum of a
+//! *nearby* input, which breaks the bit-identity contract the sweeps,
+//! the planner, and the checkpoint format all guarantee. Campaign code
+//! uses the per-call exact-bit caches in [`crate::optimizer`] and
+//! [`crate::planner`] instead, which can never change a single output
+//! bit. Hits, misses and evictions are observable as `memo.hits`,
+//! `memo.misses` and `memo.evictions`.
+
+use std::sync::Mutex;
+
+use rlckit_numeric::Result;
+use rlckit_tech::DriverParams;
+use rlckit_tline::LineRlc;
+use rlckit_trace::counter;
+use rlckit_units::{Meters, Seconds};
+
+use crate::optimizer::{optimize_rlc, OptimizerOptions, RlcOptimum};
+
+/// Low mantissa bits zeroed when quantizing a key component. 20 bits of
+/// a 52-bit mantissa keep ~9.6 significant decimal digits — far inside
+/// extraction noise for R/L/C values, far outside solver tolerance.
+pub const QUANT_BITS: u32 = 20;
+
+/// Default bound on the number of retained entries.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Zeroes the low [`QUANT_BITS`] mantissa bits of `x`, collapsing
+/// near-identical inputs onto one key. Total on all finite inputs;
+/// `-0.0` maps to the `+0.0` key so the two zeroes share an entry.
+#[must_use]
+pub fn quantize(x: f64) -> u64 {
+    let bits = if x == 0.0 { 0 } else { x.to_bits() };
+    bits & !((1u64 << QUANT_BITS) - 1)
+}
+
+/// Memo key: quantized `(r, l, c, length)` plus the exact driver and
+/// threshold bits (a different driver or threshold is a different
+/// question, not a noisy re-ask of the same one).
+type MemoKey = [u64; 8];
+
+fn key_for(
+    line: &LineRlc,
+    driver: &DriverParams,
+    length: Meters,
+    options: OptimizerOptions,
+) -> MemoKey {
+    [
+        quantize(line.resistance().get()),
+        quantize(line.inductance().get()),
+        quantize(line.capacitance().get()),
+        quantize(length.get()),
+        driver.output_resistance.get().to_bits(),
+        driver.parasitic_capacitance.get().to_bits(),
+        driver.input_capacitance.get().to_bits(),
+        options.threshold.to_bits(),
+    ]
+}
+
+/// A bounded, thread-safe memo table over [`optimize_rlc`] for serving
+/// layers. See the module docs for the quantization semantics and the
+/// campaign-path exclusion.
+pub struct OptimumMemo {
+    entries: Mutex<Vec<(MemoKey, RlcOptimum)>>,
+    capacity: usize,
+}
+
+impl Default for OptimumMemo {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl OptimumMemo {
+    /// Creates a memo retaining at most `capacity` entries (clamped to
+    /// ≥ 1); the oldest entry is evicted first.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of currently retained entries.
+    ///
+    /// # Panics
+    ///
+    /// Never — a poisoned lock is recovered (entries are plain data).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no entries are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The continuous optimum for `line` under `driver`, served from
+    /// the memo when a quantization-equal question was answered before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`optimize_rlc`] failures; failed solves are never
+    /// cached, so a transient fault does not poison the table.
+    pub fn optimum(
+        &self,
+        line: &LineRlc,
+        driver: &DriverParams,
+        options: OptimizerOptions,
+    ) -> Result<RlcOptimum> {
+        let key = key_for(line, driver, Meters::new(0.0), options);
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let solved = optimize_rlc(line, driver, options)?;
+        self.insert(key, solved);
+        Ok(solved)
+    }
+
+    /// Total optimally-buffered delay of a route of `length`. The
+    /// optimum is length-independent (delay per unit length times the
+    /// route), so every length is served from the same memo entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`optimize_rlc`] failures.
+    pub fn route_delay(
+        &self,
+        line: &LineRlc,
+        driver: &DriverParams,
+        length: Meters,
+        options: OptimizerOptions,
+    ) -> Result<Seconds> {
+        Ok(self.optimum(line, driver, options)?.total_delay(length))
+    }
+
+    fn lookup(&self, key: &MemoKey) -> Option<RlcOptimum> {
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hit = entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        if hit.is_some() {
+            counter!("memo.hits").incr();
+        } else {
+            counter!("memo.misses").incr();
+        }
+        hit
+    }
+
+    fn insert(&self, key: MemoKey, value: RlcOptimum) {
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A racing solver may have inserted the same key meanwhile;
+        // keep the first answer so repeated hits stay self-consistent.
+        if entries.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if entries.len() >= self.capacity {
+            entries.remove(0);
+            counter!("memo.evictions").incr();
+        }
+        entries.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_tech::TechNode;
+    use rlckit_units::HenriesPerMeter;
+
+    fn setup() -> (LineRlc, DriverParams) {
+        let node = TechNode::nm100();
+        (
+            LineRlc::new(
+                node.line().resistance,
+                HenriesPerMeter::from_nano_per_milli(1.8),
+                node.line().capacitance,
+            ),
+            node.driver(),
+        )
+    }
+
+    #[test]
+    fn quantize_collapses_neighbours_and_zeroes() {
+        let x = 1.8e-6_f64;
+        let noisy = f64::from_bits(x.to_bits() + 3);
+        assert_eq!(quantize(x), quantize(noisy));
+        assert_eq!(quantize(0.0), quantize(-0.0));
+        assert_ne!(quantize(1.0), quantize(2.0));
+    }
+
+    #[test]
+    fn second_ask_is_served_from_the_memo() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::default();
+        let before = rlckit_trace::snapshot();
+        let a = memo.optimum(&line, &driver, OptimizerOptions::default()).unwrap();
+        // A measurement-noise perturbation of the inductance: same key.
+        let noisy = LineRlc::new(
+            line.resistance(),
+            HenriesPerMeter::new(f64::from_bits(line.inductance().get().to_bits() + 1)),
+            line.capacitance(),
+        );
+        let b = memo.optimum(&noisy, &driver, OptimizerOptions::default()).unwrap();
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.misses"), 1);
+        assert_eq!(delta.counter("memo.hits"), 1);
+        assert_eq!(
+            a.segment_delay.get().to_bits(),
+            b.segment_delay.get().to_bits(),
+            "a hit must return the cached optimum verbatim"
+        );
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_questions_do_not_collide() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::default();
+        let a = memo.optimum(&line, &driver, OptimizerOptions::default()).unwrap();
+        let other = LineRlc::new(
+            line.resistance(),
+            HenriesPerMeter::from_nano_per_milli(0.9),
+            line.capacitance(),
+        );
+        let b = memo.optimum(&other, &driver, OptimizerOptions::default()).unwrap();
+        assert_eq!(memo.len(), 2);
+        assert_ne!(
+            a.segment_length.get().to_bits(),
+            b.segment_length.get().to_bits()
+        );
+        // Thresholds key separately even on the same line.
+        let opts = OptimizerOptions {
+            threshold: 0.9,
+            ..OptimizerOptions::default()
+        };
+        memo.optimum(&line, &driver, opts).unwrap();
+        assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_the_oldest_entry() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::new(2);
+        let before = rlckit_trace::snapshot();
+        for nano_per_milli in [1.0, 1.4, 1.8] {
+            let l = LineRlc::new(
+                line.resistance(),
+                HenriesPerMeter::from_nano_per_milli(nano_per_milli),
+                line.capacitance(),
+            );
+            memo.optimum(&l, &driver, OptimizerOptions::default()).unwrap();
+        }
+        assert_eq!(memo.len(), 2);
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.evictions"), 1);
+        // The oldest (1.0 nH/mm) was evicted: asking again re-solves.
+        let oldest = LineRlc::new(
+            line.resistance(),
+            HenriesPerMeter::from_nano_per_milli(1.0),
+            line.capacitance(),
+        );
+        let before = rlckit_trace::snapshot();
+        memo.optimum(&oldest, &driver, OptimizerOptions::default()).unwrap();
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.misses"), 1);
+    }
+
+    #[test]
+    fn route_delay_reuses_the_optimum_entry() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::default();
+        let before = rlckit_trace::snapshot();
+        let d1 = memo
+            .route_delay(&line, &driver, Meters::from_milli(30.0), OptimizerOptions::default())
+            .unwrap();
+        let d2 = memo
+            .route_delay(&line, &driver, Meters::from_milli(60.0), OptimizerOptions::default())
+            .unwrap();
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.misses"), 1, "one solve serves both lengths");
+        assert_eq!(delta.counter("memo.hits"), 1);
+        assert!(d2.get() > d1.get());
+    }
+}

@@ -7,17 +7,19 @@
 //!
 //! The sweep is embarrassingly parallel — every point re-runs the
 //! Eq. 5–8 Newton optimizer independently — so it executes on the
-//! `rlckit-par` campaign engine by default. Results are **bit-identical
-//! to the serial evaluation** for every thread count (the per-point
-//! computation is a pure function and `rlckit_par::par_map_chunked`
-//! collects in input order); `RLCKIT_THREADS=1` or
-//! [`inductance_sweep_with`] with [`Parallelism::Serial`] forces the
-//! serial path.
+//! `rlckit-par` campaign engine by default, on the guided
+//! self-scheduler (per-point cost varies with the damping regime, so
+//! static chunks leave workers idle at the tail). Results are
+//! **bit-identical to the serial evaluation** for every thread count
+//! (the per-point computation is a pure function and
+//! `rlckit_par::par_map_guided` reassembles in input order);
+//! `RLCKIT_THREADS=1` or [`inductance_sweep_with`] with
+//! [`Parallelism::Serial`] forces the serial path.
 
 use std::path::Path;
 
 use rlckit_numeric::{NumericError, Result};
-use rlckit_par::{par_map_chunked, Parallelism};
+use rlckit_par::{par_map_guided, Parallelism};
 use rlckit_tech::{DriverParams, LineParams, TechNode};
 use rlckit_trace::{counter, span};
 use rlckit_tline::twopole::Damping;
@@ -134,7 +136,7 @@ pub fn inductance_sweep_outcomes(
 ) -> Result<Vec<PointOutcome<SweepPoint>>> {
     let rc = rc_optimum(line, driver);
     let points: Vec<HenriesPerMeter> = inductances.into_iter().collect();
-    par_map_chunked(&points, parallelism, 0, |i, &l| {
+    par_map_guided(&points, parallelism, |i, &l| {
         Ok(sweep_point_outcome(
             line, driver, &rc, l, options, policy, i as u64,
         ))
@@ -292,7 +294,7 @@ pub fn inductance_sweep_checkpointed(
         }
     }
 
-    let computed = par_map_chunked(&missing, parallelism, 0, |_, &(i, l)| {
+    let computed = par_map_guided(&missing, parallelism, |_, &(i, l)| {
         Ok((
             i,
             sweep_point_outcome(line, driver, &rc, l, options, policy, i as u64),

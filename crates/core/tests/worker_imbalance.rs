@@ -1,17 +1,19 @@
-//! Baseline data for the ROADMAP's work-stealing rung: chunked
-//! scheduling over the planner's uneven workload, observed through the
-//! `rlckit-par` scheduling histograms.
+//! Scheduling telemetry for the ROADMAP's work-stealing rung: the
+//! planner trade-off now runs on guided self-scheduling, observed
+//! through the `rlckit-par` scheduling histograms.
 //!
 //! `segment_count_tradeoff` re-runs a golden-section size optimization
 //! per repeater count, and the per-count cost varies by roughly 3× —
-//! exactly the workload shape where a static split goes wrong. The test
-//! pins the worker count, runs the trade-off through the campaign
-//! engine, and asserts that `par.tasks_per_worker` recorded a usable
-//! max/min task split for every worker.
+//! exactly the workload shape where a static split goes wrong. Guided
+//! claims start large and halve toward the tail, so fast workers absorb
+//! the imbalance by claiming more batches. The test pins the worker
+//! count, runs the trade-off through the campaign engine, and asserts
+//! that `par.tasks_per_worker` recorded a usable max/min task split for
+//! every worker.
 //!
 //! The `par.*` family is the one documented determinism exception: the
 //! totals below are exact, but *which* worker claimed how many tasks is
-//! whatever the chunk race produced — so assertions bound the split
+//! whatever the claim race produced — so assertions bound the split
 //! instead of fixing it.
 
 use rlckit::planner::segment_count_tradeoff_with;
@@ -25,7 +27,7 @@ use rlckit_units::{HenriesPerMeter, Meters};
 const WORKERS: usize = 4;
 
 /// Repeater counts to plan — enough items that every worker sees
-/// multiple chunks under the engine's ~4-chunks-per-worker sizing.
+/// multiple claims under guided sizing (first claim ≈ len / 2·threads).
 const COUNTS: std::ops::RangeInclusive<usize> = 1..=24;
 
 #[test]
@@ -51,7 +53,7 @@ fn planner_tradeoff_records_per_worker_task_counts() {
 
     let total = COUNTS.count() as u64;
     assert_eq!(plans.len() as u64, total);
-    assert_eq!(delta.counter("par.maps"), 1);
+    assert_eq!(delta.counter("par.guided_maps"), 1);
     assert_eq!(delta.counter("par.tasks"), total);
 
     let split = &delta.histograms["par.tasks_per_worker"];
@@ -61,7 +63,7 @@ fn planner_tradeoff_records_per_worker_task_counts() {
     assert_eq!(split.count, WORKERS as u64, "one record per worker");
     assert_eq!(split.sum, total, "claimed tasks must cover the workload");
 
-    // The max/min split is the imbalance baseline itself. Pigeonhole
+    // The max/min split is the imbalance picture itself. Pigeonhole
     // bounds: the busiest worker carries at least the mean, at most
     // everything; an unlucky worker may claim nothing (another drained
     // the queue first), so the min is only bounded above.
@@ -71,11 +73,11 @@ fn planner_tradeoff_records_per_worker_task_counts() {
     assert!(max <= total, "max {max} exceeds workload");
     assert!(min <= total / WORKERS as u64, "min {min} above mean");
 
-    let chunks = &delta.histograms["par.chunks_per_worker"];
-    assert_eq!(chunks.count, WORKERS as u64);
+    let claims = &delta.histograms["par.claims_per_worker"];
+    assert_eq!(claims.count, WORKERS as u64);
     assert!(
-        chunks.sum >= WORKERS as u64,
-        "expected at least one chunk per worker slot on average"
+        claims.sum >= WORKERS as u64,
+        "expected at least one claim per worker slot on average"
     );
 }
 

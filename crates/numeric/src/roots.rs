@@ -400,6 +400,129 @@ pub fn newton_bracketed(
     result
 }
 
+/// [`newton_bracketed`] for callers that can evaluate the function and
+/// its derivative together, optionally seeding the endpoint residuals.
+///
+/// `fdf(x)` returns `(f(x), f'(x))` in one call — the two-pole step
+/// response and its derivative share their discriminant, pole and
+/// exponential subexpressions, so the fused evaluation costs barely
+/// more than either alone. `seed`, when `Some((f_lo, f_hi))`, supplies
+/// the residuals at `lo` and `hi` so the solver does not re-evaluate
+/// endpoints the caller has already computed (the delay solve's bracket
+/// expansion ends on exactly such an evaluation).
+///
+/// The iterate sequence — and therefore the returned [`Root`] — is
+/// bit-identical to [`newton_bracketed`] with separate `f`/`df`
+/// closures, provided `fdf` returns the same bits as the separate
+/// evaluations and the seeded residuals match `f(lo)`/`f(hi)` exactly.
+/// Only the *number* of closure calls changes.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if `[lo, hi]` does not bracket
+/// a root, and [`NumericError::NoConvergence`] on budget exhaustion.
+pub fn newton_bracketed_fdf(
+    fdf: impl FnMut(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    seed: Option<(f64, f64)>,
+    options: RootOptions,
+) -> Result<Root> {
+    counter!("roots.newton_bracketed.solves").incr();
+    if rlckit_fault::faultpoint!("roots.newton_bracketed") {
+        return Err(NumericError::InjectedFault {
+            site: "roots.newton_bracketed",
+        });
+    }
+    let result = newton_bracketed_fdf_impl(fdf, lo, hi, seed, options);
+    tally_root(
+        histogram!("roots.newton_bracketed.iterations"),
+        counter!("roots.newton_bracketed.budget_exhausted"),
+        &result,
+    );
+    result
+}
+
+fn newton_bracketed_fdf_impl(
+    mut fdf: impl FnMut(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    seed: Option<(f64, f64)>,
+    options: RootOptions,
+) -> Result<Root> {
+    let (mut a, mut b) = (lo.min(hi), lo.max(hi));
+    // Seeded residuals arrive in (lo, hi) order; swap with the endpoints.
+    let seed = seed.map(|(f_lo, f_hi)| if lo <= hi { (f_lo, f_hi) } else { (f_hi, f_lo) });
+    let mut fa = seed.map_or_else(|| fdf(a).0, |(f_a, _)| f_a);
+    let fb = seed.map_or_else(|| fdf(b).0, |(_, f_b)| f_b);
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { lo: a, hi: b });
+    }
+
+    let mut x = 0.5 * (a + b);
+    let mut eval = fdf(x);
+    for iteration in 1..=options.max_iterations {
+        let (fx, dfx) = eval;
+        if fx.abs() <= options.f_tol {
+            return Ok(Root {
+                x,
+                residual: fx,
+                iterations: iteration,
+            });
+        }
+        // Maintain the bracket.
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+        }
+        let newton = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        let next = if newton.is_finite() && newton > a && newton < b {
+            newton
+        } else {
+            counter!("roots.newton_bracketed.bisection_fallbacks").incr();
+            0.5 * (a + b)
+        };
+        // One fused evaluation serves both the small-step residual check
+        // below and the next iteration's (fx, dfx) — the unfused solver
+        // evaluates these separately at the identical abscissa.
+        let next_eval = fdf(next);
+        if (next - x).abs() <= options.x_tol * x.abs().max(1.0) {
+            // Same honest-convergence rule as `newton_bracketed`: a tiny
+            // step counts only if the residual actually meets `f_tol`.
+            let f_next = next_eval.0;
+            if f_next.abs() <= options.f_tol {
+                return Ok(Root {
+                    x: next,
+                    residual: f_next,
+                    iterations: iteration,
+                });
+            }
+        }
+        x = next;
+        eval = next_eval;
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: eval.0.abs(),
+    })
+}
+
 fn newton_bracketed_impl(
     mut f: impl FnMut(f64) -> f64,
     mut df: impl FnMut(f64) -> f64,

@@ -43,6 +43,26 @@
 //! [`std::thread::available_parallelism`]. `RLCKIT_THREADS=1` forces the
 //! serial path — useful to bisect any suspected parallelism issue.
 //!
+//! `RLCKIT_THREADS` is read **once per process** (the same pattern
+//! `rlckit-trace` uses for `RLCKIT_TRACE`): a campaign resolves the same
+//! worker count at every stage, and the hot path never pays a per-call
+//! env lookup. Tests and embedders that need a different count
+//! mid-process use [`set_threads`], which takes precedence over the
+//! cached environment value.
+//!
+//! # Scheduling
+//!
+//! [`par_map_chunked`] distributes fixed-size chunks (~4 per worker by
+//! default) off an atomic counter. [`par_map_guided`] is the adaptive
+//! alternative for workloads with large per-item cost variance (the
+//! route planner's trade-off sweep spans ~3× between its cheapest and
+//! dearest points): workers claim `remaining / (2·workers)` items at a
+//! time, so claims start large and halve toward the tail, bounding the
+//! straggler tail by the cost of one small claim while keeping the
+//! claim count — and therefore counter contention — logarithmic. Both
+//! modes collect results by input index and are bit-identical to the
+//! serial evaluation.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,7 +81,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use rlckit_numeric::{NumericError, Result};
 use rlckit_trace::{counter, histogram};
@@ -92,21 +112,49 @@ impl Parallelism {
     }
 }
 
-/// The `Auto` worker count: `RLCKIT_THREADS` when it parses as a
-/// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (1 if even that is unavailable).
+/// The `Auto` worker count: a [`set_threads`] override when active,
+/// else `RLCKIT_THREADS` when it parses as a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is
+/// unavailable). The environment variable is read and parsed exactly
+/// once per process; later mutations of the process environment do not
+/// change the resolved count.
 #[must_use]
 pub fn available_threads() -> usize {
-    if let Some(n) = env_threads() {
+    let forced = FORCED_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = *ENV_THREADS.get_or_init(env_threads) {
         return n;
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Parses `RLCKIT_THREADS`; unset, empty, non-numeric or zero values are
-/// ignored (auto-detection applies).
+/// Programmatically overrides the [`Parallelism::Auto`] worker count,
+/// taking precedence over the cached `RLCKIT_THREADS` value. Pass
+/// `Some(n)` to force `n` workers (clamped to ≥ 1) or `None` to restore
+/// the environment/auto-detected count. Intended for tests and
+/// embedders that must change the count mid-process now that the
+/// environment variable is read only once.
+pub fn set_threads(n: Option<usize>) {
+    FORCED_THREADS.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// Once-per-process cache of the parsed `RLCKIT_THREADS` value
+/// (`None` = unset or unparseable, so auto-detection applies).
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Programmatic [`set_threads`] override; 0 means "no override".
+static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reads and parses `RLCKIT_THREADS` (called at most once per process).
 fn env_threads() -> Option<usize> {
-    let raw = std::env::var("RLCKIT_THREADS").ok()?;
+    parse_threads(&std::env::var("RLCKIT_THREADS").ok()?)
+}
+
+/// Parses an `RLCKIT_THREADS` value; empty, non-numeric or zero values
+/// are ignored (auto-detection applies).
+fn parse_threads(raw: &str) -> Option<usize> {
     match raw.trim().parse::<usize>() {
         Ok(n) if n > 0 => Some(n),
         _ => None,
@@ -232,6 +280,126 @@ where
         }
     }
     Ok(results)
+}
+
+/// Maps `f` over `items` with guided self-scheduling: each worker
+/// CAS-claims `remaining / (2·workers)` consecutive items at a time, so
+/// claims start large and halve toward the tail.
+///
+/// Prefer this over [`par_map_chunked`] when per-item cost varies a lot
+/// (the route planner's trade-off sweep spans ~3× between points): a
+/// fixed chunk sized for the mean either leaves the tail imbalanced or
+/// pays counter traffic on every item, while guided claims bound the
+/// straggler tail by one small claim and keep the total claim count
+/// logarithmic in the input length.
+///
+/// The output is bit-identical to the serial evaluation for every
+/// worker count: each element is a pure function of `(input_index,
+/// item)` and results are collected sorted by claim start, so the
+/// claim-boundary race affects scheduling only, never values. On
+/// failure the error of the **earliest** failing input is returned,
+/// exactly as the serial loop would report it.
+///
+/// # Errors
+///
+/// Propagates the earliest `Err` returned by `f`, or
+/// [`NumericError::InvalidInput`] if a worker panicked (the message
+/// names the start of the claim being processed, which may vary with
+/// scheduling; result values never do).
+pub fn par_map_guided<T, U, F>(items: &[T], parallelism: Parallelism, f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U> + Sync,
+{
+    let threads = parallelism.resolve();
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return serial_map(items, &f);
+    }
+
+    let next = AtomicUsize::new(0);
+    let claims: Mutex<Vec<(usize, ChunkOutcome<U>)>> = Mutex::new(Vec::new());
+
+    let worker = || {
+        let mut my_tasks = 0u64;
+        let mut my_claims = 0u64;
+        let mut start = next.load(Ordering::Relaxed);
+        'claims: loop {
+            // CAS-claim [start, end): the claim size is recomputed from
+            // the *observed* remaining count, so a failed exchange
+            // retries against the freshest counter value.
+            let end = loop {
+                if start >= len {
+                    break 'claims;
+                }
+                let end = start + guided_claim(len - start, threads);
+                match next.compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break end,
+                    Err(observed) => start = observed,
+                }
+            };
+            my_tasks += (end - start) as u64;
+            my_claims += 1;
+            // Same panic policy as the fixed-chunk engine: catch outside
+            // the lock so a panicking `f` can never poison the mutex.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                let mut out = Vec::with_capacity(end - start);
+                for (i, item) in items[start..end].iter().enumerate() {
+                    out.push(f(start + i, item)?);
+                }
+                Ok(out)
+            })) {
+                Ok(Ok(values)) => ChunkOutcome::Done(values),
+                Ok(Err(e)) => ChunkOutcome::Failed(e),
+                Err(payload) => ChunkOutcome::Panicked(panic_message(payload.as_ref())),
+            };
+            claims
+                .lock()
+                .expect("claim slots never poisoned")
+                .push((start, outcome));
+            start = next.load(Ordering::Relaxed);
+        }
+        histogram!("par.tasks_per_worker").observe(my_tasks);
+        histogram!("par.claims_per_worker").observe(my_claims);
+    };
+
+    counter!("par.guided_maps").incr();
+    counter!("par.tasks").add(len as u64);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(len) {
+            scope.spawn(worker);
+        }
+    });
+
+    // The claims partition [0, len); sorted by start they reproduce the
+    // input order, and the first non-`Done` claim in that order contains
+    // the earliest failing input (each claim short-circuits in-order).
+    let mut claims = claims.into_inner().expect("claim slots never poisoned");
+    claims.sort_unstable_by_key(|&(start, _)| start);
+    let mut results = Vec::with_capacity(len);
+    for (start, outcome) in claims {
+        match outcome {
+            ChunkOutcome::Done(values) => results.extend(values),
+            ChunkOutcome::Failed(e) => return Err(e),
+            ChunkOutcome::Panicked(msg) => {
+                return Err(NumericError::InvalidInput(format!(
+                    "parallel worker panicked while mapping items from {start}: {msg}"
+                )))
+            }
+        }
+    }
+    debug_assert_eq!(results.len(), len, "claims must partition the input");
+    Ok(results)
+}
+
+/// The guided self-scheduling claim size: `remaining / (2·workers)`, at
+/// least 1. Early claims grab long contiguous runs (minimal counter
+/// traffic, cache-friendly); late claims shrink geometrically so the
+/// slowest worker finishes at most one small claim after its siblings.
+fn guided_claim(remaining: usize, threads: usize) -> usize {
+    (remaining / (threads * 2)).max(1)
 }
 
 /// Maps an infallible `f` over `items`; a convenience wrapper around
@@ -389,5 +557,84 @@ mod tests {
         assert_eq!(effective_chunk_size(1000, 4, 17), 17);
         assert_eq!(effective_chunk_size(3, 8, 0), 1);
         assert_eq!(effective_chunk_size(0, 8, 0), 1);
+    }
+
+    #[test]
+    fn threads_value_parsing_ignores_garbage_and_zero() {
+        assert_eq!(parse_threads("3"), Some(3));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        for bad in ["0", "", "  ", "many", "-4", "1.5"] {
+            assert_eq!(parse_threads(bad), None, "RLCKIT_THREADS={bad:?}");
+        }
+    }
+
+    #[test]
+    fn guided_claims_start_large_and_halve_toward_the_tail() {
+        assert_eq!(guided_claim(1000, 4), 125);
+        assert_eq!(guided_claim(100, 4), 12);
+        assert_eq!(guided_claim(8, 4), 1);
+        assert_eq!(guided_claim(1, 4), 1);
+    }
+
+    #[test]
+    fn guided_matches_serial_bit_for_bit() {
+        let xs: Vec<f64> = (0..511).map(|i| f64::from(i) * 0.73 - 4.0).collect();
+        let f = |i: usize, &x: &f64| Ok((x * x).sin() + i as f64 * 1e-3);
+        let serial = par_map_chunked(&xs, Parallelism::Serial, 0, f).unwrap();
+        for threads in [2, 3, 8] {
+            let guided = par_map_guided(&xs, Parallelism::Threads(threads), f).unwrap();
+            assert_eq!(serial.len(), guided.len());
+            for (a, b) in serial.iter().zip(&guided) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn guided_earliest_error_wins() {
+        let xs: Vec<usize> = (0..96).collect();
+        for threads in [2, 4] {
+            match par_map_guided(&xs, Parallelism::Threads(threads), |i, _| {
+                if i >= 23 {
+                    Err(NumericError::InvalidInput(format!("boom at {i}")))
+                } else {
+                    Ok(i)
+                }
+            }) {
+                Err(NumericError::InvalidInput(msg)) => {
+                    assert!(msg.contains("boom at 23"), "threads={threads}: {msg}")
+                }
+                other => panic!("threads={threads}: expected earliest error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn guided_worker_panic_becomes_an_error_not_a_hang() {
+        let xs: Vec<usize> = (0..48).collect();
+        match par_map_guided(&xs, Parallelism::Threads(4), |i, _| {
+            assert!(i != 29, "unlucky index");
+            Ok(i)
+        }) {
+            Err(NumericError::InvalidInput(msg)) => {
+                assert!(msg.contains("panicked"), "{msg}");
+                assert!(msg.contains("unlucky index"), "{msg}");
+            }
+            other => panic!("expected surfaced panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guided_empty_and_single_inputs_stay_on_the_calling_thread() {
+        let empty: [f64; 0] = [];
+        assert_eq!(
+            par_map_guided(&empty, Parallelism::Threads(8), |_, &x: &f64| Ok(x)).unwrap(),
+            Vec::<f64>::new()
+        );
+        let one = [42.0f64];
+        assert_eq!(
+            par_map_guided(&one, Parallelism::Threads(8), |_, &x| Ok(x * 2.0)).unwrap(),
+            vec![84.0]
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! * the second-order reduction handed to [`crate::twopole::TwoPole`].
 
 use rlckit_numeric::series::Series;
-use rlckit_numeric::Complex;
+use rlckit_numeric::{Complex, NumericError};
 use rlckit_units::{Farads, HenriesPerMeter, Meters, Ohms, Seconds};
 
 use crate::abcd::Abcd;
@@ -257,9 +257,27 @@ impl DriverInterconnectLoad {
 
     /// The second-order Padé reduction (Eq. 2) of the exact transfer
     /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate (non-positive/non-finite) moments; campaign
+    /// paths must use [`Self::try_two_pole`] so a bad point fails the
+    /// point, not the process.
     #[must_use]
     pub fn two_pole(&self) -> TwoPole {
         TwoPole::new(self.b1(), self.b2())
+    }
+
+    /// Fallible [`Self::two_pole`]: degenerate moments become
+    /// [`NumericError::InvalidInput`] (non-retryable) instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] if either closed-form
+    /// moment is non-positive or non-finite.
+    pub fn try_two_pole(&self) -> Result<TwoPole, NumericError> {
+        TwoPole::try_new(self.b1(), self.b2())
     }
 
     /// The critical line inductance `l_crit` (Eq. 4): the value of `l`

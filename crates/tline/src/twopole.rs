@@ -8,7 +8,7 @@
 //! iterations as the paper reports).
 
 use rlckit_numeric::poly::quadratic_roots;
-use rlckit_numeric::roots::{newton_bracketed, RootOptions};
+use rlckit_numeric::roots::{newton_bracketed_fdf, RootOptions};
 use rlckit_numeric::{Complex, NumericError};
 use rlckit_trace::{counter, histogram};
 use rlckit_units::Seconds;
@@ -69,12 +69,31 @@ impl TwoPole {
     /// # Panics
     ///
     /// Panics unless `b₁ > 0` and `b₂ > 0` (always true for the passive
-    /// RLC structures this workspace produces).
+    /// RLC structures this workspace produces). Campaign code paths,
+    /// where a degenerate sweep point or a perturbed optimizer restart
+    /// *can* produce non-positive moments, must use [`Self::try_new`]
+    /// so the point fails instead of the process.
     #[must_use]
     pub fn new(b1: f64, b2: f64) -> Self {
-        assert!(b1 > 0.0, "b1 must be positive");
-        assert!(b2 > 0.0, "b2 must be positive");
-        Self { b1, b2 }
+        Self::try_new(b1, b2).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::new`]: non-positive or non-finite moments become
+    /// [`NumericError::InvalidInput`] (classified non-retryable — a
+    /// degenerate model does not get better on retry) instead of a
+    /// panic, so per-point failures in a campaign stay per-point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] unless `b₁ > 0`, `b₂ > 0`
+    /// and both are finite.
+    pub fn try_new(b1: f64, b2: f64) -> Result<Self, NumericError> {
+        if !(b1 > 0.0 && b1.is_finite() && b2 > 0.0 && b2.is_finite()) {
+            return Err(NumericError::InvalidInput(format!(
+                "two-pole moments must be positive and finite, got b1 = {b1:e}, b2 = {b2:e}"
+            )));
+        }
+        Ok(Self { b1, b2 })
     }
 
     /// First moment `b₁` (the Elmore delay).
@@ -180,6 +199,43 @@ impl TwoPole {
         }
     }
 
+    /// Both [`Self::response`] and [`Self::response_derivative`] at `t`,
+    /// evaluated once. The two share their discriminant, pole and
+    /// exponential subexpressions; each component is computed with
+    /// exactly the expressions of the standalone methods, so the pair is
+    /// bit-identical to calling them separately — the delay solve's
+    /// determinism contract depends on this.
+    fn response_with_derivative(&self, t: f64) -> (f64, f64) {
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let disc = self.discriminant();
+        if disc.abs() <= CRITICAL_TOL * self.b1 * self.b1 {
+            let p = -self.b1 / (2.0 * self.b2);
+            let ept = (p * t).exp();
+            (1.0 - (1.0 - p * t) * ept, p * p * t * ept)
+        } else if disc > 0.0 {
+            let sq = disc.sqrt();
+            let s1 = (-self.b1 + sq) / (2.0 * self.b2); // slow pole
+            let s2 = (-self.b1 - sq) / (2.0 * self.b2); // fast pole
+            let e1 = (s1 * t).exp();
+            let e2 = (s2 * t).exp();
+            (
+                1.0 - s2 / (s2 - s1) * e1 + s1 / (s2 - s1) * e2,
+                (e2 - e1) / (self.b2 * (s2 - s1)),
+            )
+        } else {
+            let alpha = self.b1 / (2.0 * self.b2);
+            let omega_d = (-disc).sqrt() / (2.0 * self.b2);
+            let eat = (-alpha * t).exp();
+            let wt = omega_d * t;
+            (
+                1.0 - eat * (wt.cos() + alpha / omega_d * wt.sin()),
+                eat * wt.sin() / (self.b2 * omega_d),
+            )
+        }
+    }
+
     /// The rigorous `f·100 %` delay: the first `t` with `v(t) = f`
     /// (paper Eq. 3), solved by bracketed Newton–Raphson.
     ///
@@ -223,11 +279,12 @@ impl TwoPole {
             Damping::CriticallyDamped => counter!("twopole.delay.damping.critical").incr(),
             Damping::Underdamped => counter!("twopole.delay.damping.underdamped").incr(),
         }
-        let t_hi = match damping {
+        let (t_hi, f_hi) = match damping {
             Damping::Underdamped => {
                 // First peak at t = π/ω_d, where v ≥ 1 > f.
                 let omega_d = (-self.discriminant()).sqrt() / (2.0 * self.b2);
-                core::f64::consts::PI / omega_d
+                let t = core::f64::consts::PI / omega_d;
+                (t, self.response(t) - f)
             }
             _ => {
                 // v → 1 monotonically: expand until v(t) > f, with a
@@ -238,20 +295,25 @@ impl TwoPole {
                 // must never wedge a worker thread on such a point.
                 const MAX_DOUBLINGS: usize = 64;
                 let mut t = 2.0 * self.b1;
+                let mut v = self.response(t);
                 let mut doublings = 0;
-                while self.response(t) < f {
+                while v < f {
                     if doublings >= MAX_DOUBLINGS || !t.is_finite() {
                         counter!("twopole.delay.failures").incr();
                         return Err(NumericError::NoConvergence {
                             iterations: doublings,
-                            residual: f - self.response(t),
+                            residual: f - v,
                         });
                     }
                     t *= 2.0;
                     doublings += 1;
+                    v = self.response(t);
                 }
                 histogram!("twopole.delay.bracket_doublings").observe(doublings as u64);
-                t
+                // The accepted expansion endpoint doubles as the upper
+                // seed residual: the solver used to re-evaluate v(t_hi)
+                // immediately after this loop computed it.
+                (t, v - f)
             }
         };
         let options = RootOptions {
@@ -260,11 +322,20 @@ impl TwoPole {
             max_iterations: 200,
             ..RootOptions::default()
         };
-        let root = newton_bracketed(
-            |t| self.response(t) - f,
-            |t| self.response_derivative(t),
+        // Seeded endpoints: v(0) = 0 exactly, so the lower residual is
+        // 0.0 - f (the identical bits the unfused solver computed), and
+        // f_hi comes from the bracket search above. The fused
+        // response+derivative evaluation shares the pole/exponential
+        // subexpressions per iteration; the iterate sequence is
+        // bit-identical to the separate-closure path.
+        let root = newton_bracketed_fdf(
+            |t| {
+                let (v, dv) = self.response_with_derivative(t);
+                (v - f, dv)
+            },
             0.0,
             t_hi,
+            Some((0.0 - f, f_hi)),
             options,
         )
         .inspect_err(|_| counter!("twopole.delay.failures").incr())?;
@@ -506,5 +577,104 @@ mod tests {
         let tp = TwoPole::new(1.0, 0.25);
         assert!((tp.damping_ratio() - 1.0).abs() < 1e-12);
         assert!((tp.natural_frequency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_moments_without_panicking() {
+        // Regression for the campaign-panic bug: degenerate sweep points
+        // and perturbed optimizer restarts can produce non-positive
+        // moments; `try_new` must surface them as the non-retryable
+        // InvalidInput class, never a panic.
+        for (b1, b2) in [
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (-1.0, 1.0),
+            (1.0, -1e-3),
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::INFINITY),
+        ] {
+            match TwoPole::try_new(b1, b2) {
+                Err(NumericError::InvalidInput(msg)) => {
+                    assert!(msg.contains("two-pole moments"), "{msg}")
+                }
+                other => panic!("b1={b1} b2={b2}: expected InvalidInput, got {other:?}"),
+            }
+        }
+        assert!(TwoPole::try_new(1.0, 0.25).is_ok());
+    }
+
+    /// The pre-fusion delay path, reconstructed verbatim: uncapped-free
+    /// bracket expansion (inputs below are all non-degenerate), separate
+    /// response/derivative closures, unseeded endpoints.
+    fn reference_delay(tp: &TwoPole, f: f64) -> f64 {
+        let t_hi = match tp.damping() {
+            Damping::Underdamped => {
+                let omega_d = (-tp.discriminant()).sqrt() / (2.0 * tp.b2());
+                core::f64::consts::PI / omega_d
+            }
+            _ => {
+                let mut t = 2.0 * tp.b1();
+                while tp.response(t) < f {
+                    t *= 2.0;
+                }
+                t
+            }
+        };
+        let options = RootOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iterations: 200,
+            ..RootOptions::default()
+        };
+        rlckit_numeric::roots::newton_bracketed(
+            |t| tp.response(t) - f,
+            |t| tp.response_derivative(t),
+            0.0,
+            t_hi,
+            options,
+        )
+        .expect("reference solve converges on these inputs")
+        .x
+    }
+
+    #[test]
+    fn fused_delay_is_bit_identical_to_the_unfused_reference() {
+        // The fused response+derivative evaluation and the seeded
+        // endpoints are pure call-count optimizations: every damping
+        // regime, time scale and threshold must reproduce the original
+        // iterate sequence bit-for-bit.
+        for b1 in [1.0, 2e-10, 7.3e-9] {
+            for ratio in [0.01, 0.2, 0.25, 0.25 * (1.0 + 1e-10), 0.3, 1.0, 4.0] {
+                let tp = TwoPole::new(b1, ratio * b1 * b1);
+                for f in [0.1, 0.5, 0.9] {
+                    let got = tp.delay(f).unwrap().get();
+                    let want = reference_delay(&tp, f);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "b1={b1} ratio={ratio} f={f}: {got:e} vs {want:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_response_matches_standalone_methods_bitwise() {
+        for tp in [
+            TwoPole::new(1.0, 0.05),
+            TwoPole::new(1.0, 0.25),
+            TwoPole::new(1.0, 2.0),
+            TwoPole::new(3e-10, 4e-20),
+        ] {
+            for t in [-1.0, 0.0, 1e-12, 0.2, 1.0, 3.0, 40.0] {
+                let t = t * tp.b1(); // scale the probe times to the model's time constant
+                let (v, dv) = tp.response_with_derivative(t);
+                assert_eq!(v.to_bits(), tp.response(t).to_bits(), "{tp:?} t={t}");
+                assert_eq!(dv.to_bits(), tp.response_derivative(t).to_bits(), "{tp:?} t={t}");
+            }
+        }
     }
 }

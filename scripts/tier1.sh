@@ -24,7 +24,11 @@ smoke_log="$(mktemp)"
 fault_log="$(mktemp)"
 fault_clean="$(mktemp -d)"
 fault_armed="$(mktemp -d)"
-trap 'rm -f "$smoke_log" "$fault_log"; rm -rf "$fault_clean" "$fault_armed"' EXIT
+sched_serial="$(mktemp -d)"
+sched_two="$(mktemp -d)"
+sched_five="$(mktemp -d)"
+trap 'rm -f "$smoke_log" "$fault_log"; \
+     rm -rf "$fault_clean" "$fault_armed" "$sched_serial" "$sched_two" "$sched_five"' EXIT
 RLCKIT_BENCH_SMOKE=1 RLCKIT_TRACE=summary cargo bench --offline --workspace 2>&1 \
   | tee "$smoke_log"
 if grep -q '\.no_convergence' "$smoke_log"; then
@@ -55,7 +59,52 @@ for bin in fig04_lcrit fig05_hopt_ratio fig06_kopt_ratio fig07_delay_ratio fig08
     echo "tier-1 gate: FAIL — $bin CSV drifted under fault injection" >&2
     exit 1
   fi
+  # Cache liveness: every Fig. 4–8 campaign must take optimizer residual
+  # cache hits (the pre-flight warm guarantees ≥ 1 per solve); a silent
+  # zero means the hot-path cache has been disconnected.
+  if ! grep -q 'optimizer\.cache\.hits' "$fault_log"; then
+    echo "tier-1 gate: FAIL — $bin recorded no optimizer cache hits" >&2
+    exit 1
+  fi
 done
+
+# Scheduler identity: campaign CSVs must be byte-identical across the
+# serial reference and guided work-stealing execution at two thread
+# counts (each `cargo run` is a fresh process, so RLCKIT_THREADS is
+# honored under its once-per-process semantics).
+for bin in fig04_lcrit fig07_delay_ratio; do
+  RLCKIT_RESULTS_DIR="$sched_serial" RLCKIT_THREADS=1 \
+    cargo run --release --offline -q -p rlckit-bench --bin "$bin" >/dev/null
+  RLCKIT_RESULTS_DIR="$sched_two" RLCKIT_THREADS=2 \
+    cargo run --release --offline -q -p rlckit-bench --bin "$bin" >/dev/null
+  RLCKIT_RESULTS_DIR="$sched_five" RLCKIT_THREADS=5 \
+    cargo run --release --offline -q -p rlckit-bench --bin "$bin" >/dev/null
+  for dir in "$sched_two" "$sched_five"; do
+    if ! cmp -s "$sched_serial/$bin.csv" "$dir/$bin.csv"; then
+      echo "tier-1 gate: FAIL — $bin CSV drifted between serial and guided execution" >&2
+      exit 1
+    fi
+  done
+done
+
+# Perf guard on the committed bench baselines: the delay solver must
+# hold the paper's ≤4-iteration claim, and the optimizer's engineered
+# pre-flight cache hit must still land (exactly one hit per solve on
+# the clean path — zero means the cache was disconnected).
+bench_metric() { # group name metric
+  grep "\"name\":\"$2\"" "results/BENCH_$1.json" \
+    | grep -o "\"$3\":[0-9.]*" | cut -d: -f2
+}
+iters="$(bench_metric delay_solver random_configs iterations_per_solve)"
+if ! awk -v x="${iters:-99}" 'BEGIN { exit !(x <= 4.1) }'; then
+  echo "tier-1 gate: FAIL — delay solver iterations_per_solve regressed (${iters:-missing} > 4.1)" >&2
+  exit 1
+fi
+hits="$(bench_metric optimizer single_point_250nm cache_hits_per_solve)"
+if ! awk -v x="${hits:-0}" 'BEGIN { exit !(x >= 1.0) }'; then
+  echo "tier-1 gate: FAIL — optimizer cache hits per solve dropped to ${hits:-0} (< 1)" >&2
+  exit 1
+fi
 # Closed-form bins have no solver in the loop; arming must be harmless.
 RLCKIT_RESULTS_DIR="$fault_armed" RLCKIT_FAULTS=2001:0.1 \
   cargo run --release --offline -q -p rlckit-bench --bin table1 >/dev/null
