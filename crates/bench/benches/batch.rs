@@ -1,0 +1,209 @@
+//! Benchmarks the batched structure-of-arrays solver core against the
+//! scalar per-point path on the identical workload — the
+//! `standard_100nm_25` campaign grid of the sweeps group — in the same
+//! run, so the recorded speedup entries are in-run ratios, not
+//! cross-machine wall-clock comparisons.
+//!
+//! Three pairs: the optimizer core and the sweep engine both serial
+//! (isolating the lockstep-batching win — independent `exp` chains
+//! overlapping in the CPU's out-of-order window), then the engine as
+//! shipped (batched columns under guided threads) against the scalar
+//! serial path the committed PR 5 baseline recorded. Every speedup
+//! entry records `threads` and `cores` so a reader — and the tier-1
+//! perf guard — can tell a single-CPU recording from a real one.
+
+use std::hint::black_box;
+
+use rlckit::batch::{optimize_batch, RlcPoint};
+use rlckit::elmore::rc_optimum;
+use rlckit::optimizer::{
+    optimize_rlc_with_retry, segment_delay, OptimizerOptions, RetryPolicy,
+};
+use rlckit::outcome::{run_point, Solved};
+use rlckit::sweeps::inductance_sweep_with;
+use rlckit_bench::timer::{BenchOptions, Harness};
+use rlckit_par::{available_threads, Parallelism};
+use rlckit_tech::TechNode;
+use rlckit_tline::LineRlc;
+use rlckit_units::HenriesPerMeter;
+
+/// Grid size of the reference workload (`sweeps standard_100nm_25`).
+const SWEEP_POINTS: usize = 25;
+
+/// Physical core count, for the JSON record's context fields.
+fn cores() -> f64 {
+    std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64)
+}
+
+fn grid_points(node: &TechNode, n: usize) -> Vec<RlcPoint> {
+    rlckit_numeric::grid::linspace(0.0, 4.95, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| RlcPoint {
+            line: LineRlc::new(
+                node.line().resistance,
+                HenriesPerMeter::from_nano_per_milli(l),
+                node.line().capacitance,
+            ),
+            scope: i as u64,
+        })
+        .collect()
+}
+
+/// The optimizer core head-to-head: a scalar point-at-a-time campaign
+/// loop against `optimize_batch` on the same grid.
+fn bench_optimizer_core(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(20);
+    let node = TechNode::nm100();
+    let driver = node.driver();
+    let points = grid_points(&node, SWEEP_POINTS);
+    let options = OptimizerOptions::default();
+    let policy = RetryPolicy::default();
+
+    h.bench_with("optimize_scalar_100nm_25", &opts, || {
+        black_box(
+            points
+                .iter()
+                .map(|p| {
+                    run_point(p.scope, &policy, || {
+                        optimize_rlc_with_retry(&p.line, &driver, options, &policy).map(|opt| {
+                            Solved {
+                                restarts: opt.restarts,
+                                degraded: opt.used_fallback,
+                                value: opt,
+                            }
+                        })
+                    })
+                })
+                .collect::<Vec<_>>(),
+        )
+    });
+    h.bench_profiled(
+        "optimize_batch_100nm_25",
+        &opts,
+        || black_box(optimize_batch(&points, &driver, options, &policy)),
+        |delta| {
+            let solves = delta.counter("optimizer.solves").max(1) as f64;
+            vec![
+                (
+                    "delay_lanes_per_solve".to_string(),
+                    delta.counter("batch.lanes") as f64 / solves,
+                ),
+                (
+                    "retired_per_iter".to_string(),
+                    delta.histograms["batch.retired_per_iter"].mean(),
+                ),
+            ]
+        },
+    );
+    h.record_speedup(
+        "optimize_batch_speedup",
+        "optimize_scalar_100nm_25",
+        "optimize_batch_100nm_25",
+        &[("threads", 1.0), ("cores", cores())],
+    );
+}
+
+/// The pre-batching sweep semantics, replicated point-at-a-time from
+/// the public API: optimize, then probe the RC design point — exactly
+/// the work one batched sweep column now runs in lockstep.
+fn sweep_scalar(node: &TechNode, n: usize) -> Vec<f64> {
+    let line = node.line();
+    let driver = node.driver();
+    let options = OptimizerOptions::default();
+    let policy = RetryPolicy::default();
+    let rc = rc_optimum(&line, &driver);
+    rlckit_numeric::grid::linspace(0.0, 4.95, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let rlc = LineRlc::new(
+                line.resistance,
+                HenriesPerMeter::from_nano_per_milli(l),
+                line.capacitance,
+            );
+            let outcome = run_point(i as u64, &policy, || {
+                let opt = optimize_rlc_with_retry(&rlc, &driver, options, &policy)?;
+                let rc_delay = segment_delay(
+                    &rlc,
+                    &driver,
+                    rc.segment_length,
+                    rc.repeater_size,
+                    options.threshold,
+                )?;
+                Ok(Solved {
+                    restarts: opt.restarts,
+                    degraded: opt.used_fallback,
+                    value: opt.delay_per_length() + rc_delay.get(),
+                })
+            });
+            outcome.value().copied().unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+/// The headline number the tier-1 gate guards: the full
+/// `standard_100nm_25` sweep through the batched column engine vs the
+/// scalar per-point path, both serial.
+fn bench_sweep_column(h: &mut Harness) {
+    let opts = BenchOptions::with_samples(20);
+    let node = TechNode::nm100();
+    let grid: Vec<HenriesPerMeter> = rlckit_numeric::grid::linspace(0.0, 4.95, SWEEP_POINTS)
+        .into_iter()
+        .map(HenriesPerMeter::from_nano_per_milli)
+        .collect();
+
+    h.bench_with("sweep_scalar_100nm_25", &opts, || {
+        black_box(sweep_scalar(&node, SWEEP_POINTS))
+    });
+    h.bench_with("sweep_batch_100nm_25", &opts, || {
+        black_box(
+            inductance_sweep_with(
+                &node.line(),
+                &node.driver(),
+                grid.iter().copied(),
+                OptimizerOptions::default(),
+                Parallelism::Serial,
+            )
+            .expect("sweep"),
+        )
+    });
+    h.record_speedup(
+        "sweep_batch_speedup",
+        "sweep_scalar_100nm_25",
+        "sweep_batch_100nm_25",
+        &[("threads", 1.0), ("cores", cores())],
+    );
+
+    // The headline campaign entry: the full batched engine as shipped
+    // (columns under guided threads) against the scalar serial path the
+    // PR 5 baseline recorded. This is the ≥2× target; it needs ≥2 CPUs
+    // (the lockstep ILP win alone is ~1.2–1.3×, see the serial pair
+    // above), which is why the JSON records `cores` and the tier-1
+    // guard skips the 2× assertion on single-CPU hosts.
+    h.bench_with("sweep_campaign_parallel_100nm_25", &opts, || {
+        black_box(
+            inductance_sweep_with(
+                &node.line(),
+                &node.driver(),
+                grid.iter().copied(),
+                OptimizerOptions::default(),
+                Parallelism::Auto,
+            )
+            .expect("sweep"),
+        )
+    });
+    h.record_speedup(
+        "sweep_campaign_speedup",
+        "sweep_scalar_100nm_25",
+        "sweep_campaign_parallel_100nm_25",
+        &[("threads", available_threads() as f64), ("cores", cores())],
+    );
+}
+
+fn main() {
+    let mut h = Harness::from_args("batch");
+    bench_optimizer_core(&mut h);
+    bench_sweep_column(&mut h);
+    h.finish();
+}

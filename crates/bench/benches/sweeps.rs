@@ -17,6 +17,13 @@ use rlckit_units::HenriesPerMeter;
 /// Inductance-grid size for the serial-vs-parallel campaign baseline.
 const CAMPAIGN_POINTS: usize = 200;
 
+/// Physical core count. Recorded next to `threads` in every speedup
+/// entry so a ~1× ratio from a single-CPU recording is legible as such
+/// (and so `tier1.sh` can skip its parallel-speedup assertion there).
+fn cores() -> f64 {
+    std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64)
+}
+
 fn bench_standard_sweep(h: &mut Harness) {
     let opts = BenchOptions::with_samples(20);
     for points in [5usize, 25] {
@@ -86,7 +93,7 @@ fn bench_campaign_parallelism(h: &mut Harness) {
         "campaign_sweep_speedup",
         "campaign_sweep_serial",
         "campaign_sweep_parallel",
-        &[("threads", available_threads() as f64)],
+        &[("threads", available_threads() as f64), ("cores", cores())],
     );
 
     let cfg = VariationConfig {
@@ -105,7 +112,7 @@ fn bench_campaign_parallelism(h: &mut Harness) {
         "monte_carlo_speedup",
         "monte_carlo_serial",
         "monte_carlo_parallel",
-        &[("threads", available_threads() as f64)],
+        &[("threads", available_threads() as f64), ("cores", cores())],
     );
 }
 

@@ -1,0 +1,84 @@
+//! Seeded differential property test for the batched delay solver:
+//! [`solve_delays`] must be bit-identical to the scalar two-pole solver
+//! — delay bits, Newton iteration counts, and error variants — on
+//! randomized batches covering degenerate moments, the
+//! over/underdamped boundary, and batch sizes 0, 1, and
+//! non-multiples of the 8-lane column width. A failing case prints its
+//! seed and replays exactly with `RLCKIT_CHECK_SEED`.
+
+use rlckit_check::{gen, Check};
+use rlckit_check::gen::Gen;
+use rlckit_tline::batch::{solve_delays, DelayConfig};
+use rlckit_tline::TwoPole;
+
+/// Random delay problems spanning every solver regime. The damping
+/// class is decided by `b2` relative to the critical `b1²/4`:
+/// overdamped below it, underdamped above, and a near-critical band
+/// around it that exercises the discriminant-sign boundary. The
+/// degenerate mode produces nonpositive moments, and the threshold
+/// draw includes out-of-range values, so error paths are compared too.
+fn config_gen() -> Gen<DelayConfig> {
+    gen::tuple4(
+        gen::select(vec![0u8, 0, 0, 1, 1, 1, 2, 3]),
+        gen::range(1e-3, 5.0),
+        gen::range(0.0, 1.0),
+        gen::select(vec![0.5, 0.5, 0.5, 0.05, 0.95, 0.0, 1.0]),
+    )
+    .map(|(mode, b1, u, threshold)| {
+        let critical = b1 * b1 / 4.0;
+        let (b1, b2) = match mode {
+            0 => (b1, (0.01 + 0.98 * u) * critical),
+            1 => (b1, (1.01 + 3.0 * u) * critical),
+            2 => (b1, (1.0 + (u - 0.5) * 1e-9) * critical),
+            _ => (b1 - 2.5, (u - 0.5) * critical),
+        };
+        DelayConfig { b1, b2, threshold }
+    })
+}
+
+/// The scalar solve a batch lane must reproduce exactly.
+fn scalar(config: &DelayConfig) -> Result<(u64, usize), String> {
+    TwoPole::try_new(config.b1, config.b2)
+        .and_then(|tp| tp.delay_with_iterations(config.threshold))
+        .map(|(delay, iterations)| (delay.get().to_bits(), iterations))
+        .map_err(|e| format!("{e:?}"))
+}
+
+#[test]
+fn batched_delays_match_the_scalar_solver_bit_for_bit() {
+    // Lengths 0..=21 cover the empty batch, a single lane, exact
+    // multiples of the 8-lane width, and ragged remainders.
+    let batches = gen::vec_in(config_gen(), 0, 21);
+    Check::new().cases(128).seed(0xB47C).run(&batches, |configs| {
+        let batched = solve_delays(configs);
+        assert_eq!(batched.len(), configs.len());
+        for (i, (config, got)) in configs.iter().zip(&batched).enumerate() {
+            let got = got
+                .as_ref()
+                .map(|out| (out.delay.get().to_bits(), out.iterations))
+                .map_err(|e| format!("{e:?}"));
+            assert_eq!(
+                scalar(config),
+                got,
+                "lane {i} of {} diverged for {config:?}",
+                configs.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn empty_and_singleton_batches_match_the_scalar_solver() {
+    assert!(solve_delays(&[]).is_empty());
+    let config = DelayConfig {
+        b1: 1.0,
+        b2: 0.05,
+        threshold: 0.5,
+    };
+    let batched = solve_delays(std::slice::from_ref(&config));
+    let out = batched[0].as_ref().expect("solvable config");
+    assert_eq!(
+        scalar(&config).expect("solvable config"),
+        (out.delay.get().to_bits(), out.iterations)
+    );
+}

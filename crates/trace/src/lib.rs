@@ -183,6 +183,26 @@ impl Histogram {
         }
     }
 
+    /// Records `n` identical observations in one pass (relaxed; safe
+    /// from any thread). Equivalent to calling [`Histogram::observe`]
+    /// `n` times with the same `value`; batch engines use it to flush
+    /// locally-accumulated per-round tallies without one RMW per event.
+    pub fn observe_n(&'static self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bucket = (value as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            REGISTRY.lock().expect("registry lock").push(Metric::Histogram(self));
+        }
+    }
+
     /// Number of observations so far.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -738,6 +758,29 @@ mod tests {
         assert_eq!(hs.buckets[BUCKETS - 1], 1, "40 overflows the exact range");
         assert!((hs.mean() - 12.75).abs() < 1e-12);
         assert_eq!(hs.max_bucket(), Some(BUCKETS - 1));
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let bulk = histogram!("test.observe_n_bulk");
+        let loop_h = histogram!("test.observe_n_loop");
+        bulk.observe_n(3, 5);
+        bulk.observe_n(40, 2);
+        bulk.observe_n(7, 0); // zero repeats must not register min/max
+        for _ in 0..5 {
+            loop_h.observe(3);
+        }
+        for _ in 0..2 {
+            loop_h.observe(40);
+        }
+        let snap = snapshot();
+        let b = &snap.histograms["test.observe_n_bulk"];
+        let l = &snap.histograms["test.observe_n_loop"];
+        assert_eq!(b.count, l.count);
+        assert_eq!(b.sum, l.sum);
+        assert_eq!(b.min, l.min);
+        assert_eq!(b.max, l.max);
+        assert_eq!(b.buckets, l.buckets);
     }
 
     #[test]
