@@ -1,0 +1,196 @@
+//! Seeded load generator and throughput baseline for `rlckit-serve`.
+//!
+//! Builds a deterministic query mix of the three shapes an interactive
+//! serving workload exhibits:
+//!
+//! * **hot repeats** — exact re-asks of a small set of on-grid keys
+//!   (always memo hits once warm);
+//! * **noisy neighbours** — hot keys with the inductance perturbed by a
+//!   few ulps, inside one `QUANT_BITS` quantization bucket (hits via
+//!   key rounding — the case the round-to-nearest quantizer exists
+//!   for);
+//! * **cold misses** — full-precision random inductances that land in
+//!   fresh buckets and pay a real solve.
+//!
+//! In bench mode the mix is replayed through an in-process
+//! [`rlckit_serve::Server`] and the result is the `results/
+//! BENCH_serve.json` baseline: replay time plus derived
+//! queries-per-second, hit rate, and p95 `log₂(ns)` latency bucket —
+//! the numbers the tier-1 perf guard checks. With `--emit=N` the mix
+//! (plus a trailing `stats` barrier) is printed to stdout instead, for
+//! the tier-1 smoke that pipes the same seeded mix through the daemon
+//! binary twice and `cmp`s the responses byte for byte.
+//!
+//! ```text
+//! loadgen [--emit=N] [--seed=S] [bench-name filters...]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rlckit::memo::QUANT_BITS;
+use rlckit_bench::timer::{BenchOptions, Harness};
+use rlckit_numeric::rng::Rng;
+use rlckit_serve::{ServeConfig, Server};
+
+/// One hot key: a named node and an on-grid inductance.
+const NODES: [&str; 3] = ["250nm", "100nm", "100nm_eps33"];
+
+/// Number of grid points per node the hot set (and the server warm-up)
+/// uses.
+const WARM_POINTS: usize = 5;
+
+fn grid_l(index: usize) -> f64 {
+    4.95 * index as f64 / (WARM_POINTS - 1) as f64
+}
+
+/// Perturbs `l` by up to a quarter of a quantization bucket — the
+/// "measurement noise" a noisy neighbour carries. Round-to-nearest
+/// keying collapses it onto the hot key's bucket (up to the rare
+/// boundary straddle, which just becomes one extra cold solve).
+fn noisy(l: f64, rng: &mut Rng) -> f64 {
+    if l == 0.0 {
+        return 0.0;
+    }
+    let quarter_bucket = 1u64 << (QUANT_BITS - 2);
+    let offset = rng.next_u64() % quarter_bucket;
+    f64::from_bits(l.to_bits() + offset)
+}
+
+fn query_line(id: usize, op: &str, node: &str, l_nh_mm: f64) -> String {
+    let length = if op == "route_delay" {
+        ",\"length_mm\":20"
+    } else {
+        ""
+    };
+    format!("{{\"id\":{id},\"op\":\"{op}\",\"node\":\"{node}\",\"l_nh_mm\":{l_nh_mm}{length}}}")
+}
+
+/// The seeded mix: ~64 % hot repeats, ~30 % noisy neighbours, ~6 % cold
+/// misses, ops rotating through `optimum` / `route_delay` / `lcrit`.
+fn build_mix(seed: u64, requests: usize) -> Vec<String> {
+    let mut rng = Rng::new(seed);
+    let ops = ["optimum", "route_delay", "lcrit"];
+    let mut out = Vec::with_capacity(requests);
+    for id in 1..=requests {
+        let op = ops[id % ops.len()];
+        let node = NODES[rng.index(NODES.len())];
+        let draw = rng.next_f64();
+        let l = if draw < 0.64 {
+            grid_l(rng.index(WARM_POINTS))
+        } else if draw < 0.94 {
+            noisy(grid_l(rng.index(WARM_POINTS)), &mut rng)
+        } else {
+            rng.uniform(0.01, 4.9)
+        };
+        out.push(query_line(id, op, node, l));
+    }
+    out
+}
+
+fn main() {
+    let mut emit: Option<usize> = None;
+    let mut seed = 0x4c4f_4144_4745_4e21; // "LOADGEN!"
+    for arg in std::env::args().skip(1) {
+        if let Some(n) = arg.strip_prefix("--emit=") {
+            emit = Some(n.parse().expect("--emit=N needs an integer"));
+        } else if let Some(s) = arg.strip_prefix("--seed=") {
+            seed = s.parse().expect("--seed=S needs an integer");
+        }
+    }
+
+    if let Some(requests) = emit {
+        for line in build_mix(seed, requests) {
+            println!("{line}");
+        }
+        // Trailing barrier: the daemon answers it only after every mix
+        // response is on the wire, so the smoke can read hit counts off
+        // the final line.
+        println!("{{\"id\":{},\"op\":\"stats\"}}", requests + 1);
+        return;
+    }
+
+    // Bench mode: latency histograms only record while tracing is on.
+    rlckit_trace::set_enabled(true);
+    let mut h = Harness::from_args("serve");
+
+    let mix = build_mix(seed, 240);
+    let requests = mix.len();
+    let input = mix.join("\n") + "\n";
+
+    let server = Server::new(ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    });
+    let warmed = server.warm_grid(WARM_POINTS);
+    // One priming replay pays the mix's cold solves, so the measured
+    // replays see the steady serving state a long-running daemon is in.
+    let mut out = Vec::with_capacity(64 * requests);
+    let primed = server
+        .serve(input.as_bytes(), &mut out)
+        .expect("in-memory replay cannot fail on I/O");
+
+    let mut last = primed;
+    h.bench_profiled(
+        "hot_mix_replay",
+        &BenchOptions::with_samples(10),
+        || {
+            let mut out = Vec::with_capacity(64 * requests);
+            last = server
+                .serve(input.as_bytes(), &mut out)
+                .expect("in-memory replay cannot fail on I/O");
+            out.len()
+        },
+        |delta| {
+            let mut extras = Vec::new();
+            if let Some(hist) = delta.histograms.get("serve.latency_log2_ns") {
+                if let Some(p95) = rlckit_serve::engine::p95_bucket(hist) {
+                    extras.push(("p95_latency_log2_ns".to_string(), p95 as f64));
+                }
+            }
+            extras
+        },
+    );
+    let hit_rate = last.hits as f64 / last.requests.max(1) as f64;
+    let qps = h
+        .stats("hot_mix_replay")
+        .map(|s| 1e9 * requests as f64 / s.median_ns);
+    let mut extras = vec![
+        ("requests", requests as f64),
+        ("warm_entries", warmed as f64),
+        ("hit_rate", hit_rate),
+        ("errors", last.errors as f64),
+    ];
+    if let Some(qps) = qps {
+        extras.push(("qps", qps));
+    }
+    h.annotate("hot_mix_replay", &extras);
+    println!(
+        "loadgen: {requests} requests, hit rate {hit_rate:.3}, {} errors",
+        last.errors
+    );
+
+    // Reference: what one un-memoized ask costs, for eyeballing the
+    // serving win in the same results file.
+    let node = rlckit_tech::TechNode::nm100();
+    let line = rlckit_tline::LineRlc::new(
+        node.line().resistance,
+        rlckit_units::HenriesPerMeter::from_nano_per_milli(1.83),
+        node.line().capacitance,
+    );
+    h.bench_with(
+        "cold_solve",
+        &BenchOptions::with_samples(10),
+        || {
+            rlckit::optimizer::optimize_rlc(
+                &line,
+                &node.driver(),
+                rlckit::optimizer::OptimizerOptions::default(),
+            )
+            .expect("table 1 point converges")
+        },
+    );
+
+    h.finish();
+    rlckit_bench::trace_footer("loadgen");
+}

@@ -243,6 +243,19 @@ impl Harness {
         self.results.iter().find(|s| s.name == name)
     }
 
+    /// Appends extra `(key, value)` context fields to an
+    /// already-recorded benchmark's JSON record — for quantities
+    /// computed *from* the measurement after the fact (a replay bench's
+    /// queries-per-second derives from its own median, which no closure
+    /// passed into the measurement can see). A no-op in smoke mode or
+    /// when `name` was filtered out, like the other derived entries.
+    pub fn annotate(&mut self, name: &str, extra: &[(&str, f64)]) {
+        if let Some(s) = self.results.iter_mut().find(|s| s.name == name) {
+            s.extra
+                .extend(extra.iter().map(|&(k, v)| (k.to_string(), v)));
+        }
+    }
+
     /// Records a derived `baseline / contender` speedup entry computed
     /// from two previously-measured benchmarks in this group, ratioed
     /// statistic by statistic (min/min, median/median, …). `extra`

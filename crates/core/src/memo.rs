@@ -1,27 +1,48 @@
 //! Serving-layer memoization of whole-optimum solves.
 //!
-//! A serving front-end (an RPC handler, a notebook kernel, an
-//! interactive what-if tool) asks the same question — "optimum for this
-//! wire under this driver" — over and over with inputs that differ only
-//! in measurement noise. Each answer costs a full Newton solve with
-//! dozens of two-pole delay evaluations, so this module provides
-//! [`OptimumMemo`]: a bounded, thread-safe memo table keyed on the
-//! *quantized* bit patterns of `(r, l, c, length)` plus the exact
-//! driver and threshold bits.
+//! A serving front-end (the `rlckit-serve` daemon, a notebook kernel,
+//! an interactive what-if tool) asks the same question — "optimum for
+//! this wire under this driver" — over and over with inputs that differ
+//! only in measurement noise. Each answer costs a full Newton solve
+//! with dozens of two-pole delay evaluations, so this module provides
+//! [`OptimumMemo`]: a bounded, thread-safe, optionally *sharded* memo
+//! table keyed on the *quantized* bit patterns of `(r, l, c)` plus the
+//! exact driver and threshold bits.
 //!
 //! # Quantization — and why campaigns must not use this
 //!
-//! Keys zero the low [`QUANT_BITS`] mantissa bits of each line
-//! parameter, so two inputs within a relative ~1e-10 of each other
-//! share an entry and the second one is served from cache. That is the
-//! point of the serving layer — and exactly why **campaign paths never
-//! route through this table**: a quantized hit returns the optimum of a
-//! *nearby* input, which breaks the bit-identity contract the sweeps,
-//! the planner, and the checkpoint format all guarantee. Campaign code
-//! uses the per-call exact-bit caches in [`crate::optimizer`] and
-//! [`crate::planner`] instead, which can never change a single output
-//! bit. Hits, misses and evictions are observable as `memo.hits`,
-//! `memo.misses` and `memo.evictions`.
+//! Keys round each line parameter to the nearest multiple of the
+//! [`QUANT_BITS`]-bit mantissa bucket, so two inputs within a relative
+//! ~1e-10 of each other share an entry and the second one is served
+//! from cache. That is the point of the serving layer — and exactly why
+//! **campaign paths never route through this table**: a quantized hit
+//! returns the optimum of a *nearby* input, which breaks the
+//! bit-identity contract the sweeps, the planner, and the checkpoint
+//! format all guarantee. Campaign code uses the per-call exact-bit
+//! caches in [`crate::optimizer`] and [`crate::planner`] instead, which
+//! can never change a single output bit. Hits, misses and evictions
+//! are observable as `memo.hits`, `memo.misses` and `memo.evictions`.
+//!
+//! # Sharding
+//!
+//! [`OptimumMemo::sharded`] splits the table into independently locked
+//! shards routed by a key hash ([`OptimumMemo::shard_of`]), so
+//! concurrent lookups of different shards never serialize on one
+//! mutex. A serving daemon pins worker *i* to shard *i* and routes each
+//! request to the worker that owns its key — then a shard's lock is
+//! only ever contended by that worker's own queue, not by its peers.
+//! The capacity bound is **per shard**; eviction is FIFO within each
+//! shard. [`OptimumMemo::new`] is the single-shard configuration with
+//! the original whole-table semantics.
+//!
+//! # Telemetry and the lock
+//!
+//! Counter updates happen strictly *outside* the shard lock: the
+//! critical section is confined to the find/insert itself (see
+//! [`OptimumMemo::probe`], the telemetry-free locked read). The first
+//! touch of a trace counter takes the process-wide registry lock, and
+//! even steady-state increments are atomic RMWs — none of that belongs
+//! in the section every concurrent lookup queues behind.
 
 use std::sync::Mutex;
 
@@ -29,43 +50,63 @@ use rlckit_numeric::Result;
 use rlckit_tech::DriverParams;
 use rlckit_tline::LineRlc;
 use rlckit_trace::counter;
-use rlckit_units::{Meters, Seconds};
+use rlckit_units::{HenriesPerMeter, Meters, Seconds};
 
+use crate::checkpoint::fingerprint64;
 use crate::optimizer::{optimize_rlc, OptimizerOptions, RlcOptimum};
 
-/// Low mantissa bits zeroed when quantizing a key component. 20 bits of
-/// a 52-bit mantissa keep ~9.6 significant decimal digits — far inside
+/// Quantization granularity: line parameters are rounded to the nearest
+/// multiple of `1 << QUANT_BITS` in mantissa-bit space. 20 bits of a
+/// 52-bit mantissa keep ~9.6 significant decimal digits — far inside
 /// extraction noise for R/L/C values, far outside solver tolerance.
 pub const QUANT_BITS: u32 = 20;
 
-/// Default bound on the number of retained entries.
+/// Default bound on the number of retained entries (per shard).
 pub const DEFAULT_CAPACITY: usize = 256;
 
-/// Zeroes the low [`QUANT_BITS`] mantissa bits of `x`, collapsing
+/// Rounds `x` to the nearest [`QUANT_BITS`]-bit bucket, collapsing
 /// near-identical inputs onto one key. Total on all finite inputs;
 /// `-0.0` maps to the `+0.0` key so the two zeroes share an entry.
+///
+/// Rounding is to the *nearest* bucket, not truncation: two
+/// measurement-noise neighbours that straddle a bucket boundary (`x`
+/// with mantissa ending `…FFFFF` and `x + 1 ulp`) land in the same
+/// bucket, because both are within half a bucket of the same rounded
+/// value. Truncation — the original implementation — split exactly
+/// those pairs and made the second of two equal-for-all-purposes asks
+/// pay a full re-solve.
 #[must_use]
 pub fn quantize(x: f64) -> u64 {
+    let bucket = 1u64 << QUANT_BITS;
     let bits = if x == 0.0 { 0 } else { x.to_bits() };
-    bits & !((1u64 << QUANT_BITS) - 1)
+    // Round half up in bit space: the bit patterns of same-sign finite
+    // floats are monotone in magnitude, so adding half a bucket and
+    // truncating is round-to-nearest. Finite inputs cannot wrap (the
+    // largest finite pattern plus half a bucket stays below u64::MAX);
+    // saturating keeps the function total anyway.
+    bits.saturating_add(bucket >> 1) & !(bucket - 1)
 }
 
-/// Memo key: quantized `(r, l, c, length)` plus the exact driver and
-/// threshold bits (a different driver or threshold is a different
-/// question, not a noisy re-ask of the same one).
-type MemoKey = [u64; 8];
+/// Memo key: quantized `(r, l, c)` plus the exact driver and threshold
+/// bits (a different driver or threshold is a different question, not a
+/// noisy re-ask of the same one).
+///
+/// Exactly 7 words: the optimum is length-independent — the route
+/// length enters only as a multiplier in
+/// [`OptimumMemo::route_delay`] — so length has no key slot. (An
+/// earlier revision carried a hardcoded `length = 0.0` word in every
+/// key: dead weight compared and hashed on every probe.)
+pub type MemoKey = [u64; 7];
 
-fn key_for(
-    line: &LineRlc,
-    driver: &DriverParams,
-    length: Meters,
-    options: OptimizerOptions,
-) -> MemoKey {
+/// Builds the [`MemoKey`] for a question. Public so serving layers can
+/// route a request to [`OptimumMemo::shard_of`] its key *before*
+/// touching any shard.
+#[must_use]
+pub fn key_for(line: &LineRlc, driver: &DriverParams, options: OptimizerOptions) -> MemoKey {
     [
         quantize(line.resistance().get()),
         quantize(line.inductance().get()),
         quantize(line.capacitance().get()),
-        quantize(length.get()),
         driver.output_resistance.get().to_bits(),
         driver.parasitic_capacitance.get().to_bits(),
         driver.input_capacitance.get().to_bits(),
@@ -73,12 +114,33 @@ fn key_for(
     ]
 }
 
-/// A bounded, thread-safe memo table over [`optimize_rlc`] for serving
-/// layers. See the module docs for the quantization semantics and the
-/// campaign-path exclusion.
+/// Whether an answer came from the memo or from a fresh solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// The answer was found in the memo (bit-identical to the first
+    /// answer stored under its key).
+    Hit,
+    /// The answer was computed by [`optimize_rlc`] (and inserted).
+    Solved,
+}
+
+impl Served {
+    /// Stable lower-case label (`"memo"` / `"solve"`) for protocol use.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hit => "memo",
+            Self::Solved => "solve",
+        }
+    }
+}
+
+/// A bounded, thread-safe, sharded memo table over [`optimize_rlc`]
+/// for serving layers. See the module docs for the quantization
+/// semantics, the sharding model, and the campaign-path exclusion.
 pub struct OptimumMemo {
-    entries: Mutex<Vec<(MemoKey, RlcOptimum)>>,
-    capacity: usize,
+    shards: Vec<Mutex<Vec<(MemoKey, RlcOptimum)>>>,
+    shard_capacity: usize,
 }
 
 impl Default for OptimumMemo {
@@ -88,27 +150,62 @@ impl Default for OptimumMemo {
 }
 
 impl OptimumMemo {
-    /// Creates a memo retaining at most `capacity` entries (clamped to
-    /// ≥ 1); the oldest entry is evicted first.
+    /// Creates a single-shard memo retaining at most `capacity` entries
+    /// (clamped to ≥ 1); the oldest entry is evicted first.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::sharded(1, capacity)
+    }
+
+    /// Creates a memo of `shards` independently locked shards (clamped
+    /// to ≥ 1), each retaining at most `shard_capacity` entries.
+    #[must_use]
+    pub fn sharded(shards: usize, shard_capacity: usize) -> Self {
         Self {
-            entries: Mutex::new(Vec::new()),
-            capacity: capacity.max(1),
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            shard_capacity: shard_capacity.max(1),
         }
     }
 
-    /// Number of currently retained entries.
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum entries retained per shard.
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// The shard a key routes to: an FNV-1a hash of the key words,
+    /// reduced modulo the shard count. Stable across processes (the
+    /// warm-start snapshot relies on nothing — entries re-route on
+    /// load — but request routers rely on it within a process).
+    #[must_use]
+    pub fn shard_of(&self, key: &MemoKey) -> usize {
+        (fingerprint64(key.iter().copied()) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of currently retained entries in shard `shard`.
     ///
     /// # Panics
     ///
-    /// Never — a poisoned lock is recovered (entries are plain data).
+    /// Panics if `shard >= shard_count()`. A poisoned lock is recovered
+    /// (entries are plain data).
     #[must_use]
-    pub fn len(&self) -> usize {
-        self.entries
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
+    }
+
+    /// Total number of currently retained entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.shard_len(s)).sum()
     }
 
     /// True when no entries are retained.
@@ -130,13 +227,28 @@ impl OptimumMemo {
         driver: &DriverParams,
         options: OptimizerOptions,
     ) -> Result<RlcOptimum> {
-        let key = key_for(line, driver, Meters::new(0.0), options);
+        Ok(self.optimum_served(line, driver, options)?.0)
+    }
+
+    /// [`OptimumMemo::optimum`] plus whether the answer was a memo hit
+    /// or a fresh solve — serving layers report this per response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`optimize_rlc`] failures.
+    pub fn optimum_served(
+        &self,
+        line: &LineRlc,
+        driver: &DriverParams,
+        options: OptimizerOptions,
+    ) -> Result<(RlcOptimum, Served)> {
+        let key = key_for(line, driver, options);
         if let Some(hit) = self.lookup(&key) {
-            return Ok(hit);
+            return Ok((hit, Served::Hit));
         }
         let solved = optimize_rlc(line, driver, options)?;
         self.insert(key, solved);
-        Ok(solved)
+        Ok((solved, Served::Solved))
     }
 
     /// Total optimally-buffered delay of a route of `length`. The
@@ -156,12 +268,63 @@ impl OptimumMemo {
         Ok(self.optimum(line, driver, options)?.total_delay(length))
     }
 
-    fn lookup(&self, key: &MemoKey) -> Option<RlcOptimum> {
-        let entries = self
-            .entries
+    /// Critical inductance `l_crit` (Eq. 4) evaluated at the optimal
+    /// `(h, k)` for this line — the paper's "does inductance matter
+    /// here?" answer, served through the same memo entry as
+    /// [`OptimumMemo::optimum`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`optimize_rlc`] failures.
+    pub fn lcrit(
+        &self,
+        line: &LineRlc,
+        driver: &DriverParams,
+        options: OptimizerOptions,
+    ) -> Result<HenriesPerMeter> {
+        Ok(self.optimum(line, driver, options)?.critical_inductance)
+    }
+
+    /// Telemetry-free locked read: the cached answer for `key`, if any.
+    ///
+    /// This is the *entire* critical section of a lookup — `memo.hits`
+    /// / `memo.misses` accounting happens in the caller after the lock
+    /// is released, so the section concurrent lookups queue behind
+    /// contains no atomic counter RMWs and can never take the trace
+    /// registry lock. Warm-start verification and tests use it directly
+    /// to inspect the table without disturbing the counters.
+    #[must_use]
+    pub fn probe(&self, key: &MemoKey) -> Option<RlcOptimum> {
+        let entries = self.shards[self.shard_of(key)]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let hit = entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Inserts an already-solved optimum without touching the hit/miss
+    /// counters — the warm-start path (boot-time grid pre-solve and
+    /// snapshot reload). Returns `true` if the entry was inserted,
+    /// `false` if the key was already present (first answer wins, as
+    /// everywhere). Evictions are counted as usual.
+    pub fn preload(&self, key: MemoKey, value: RlcOptimum) -> bool {
+        self.insert(key, value)
+    }
+
+    /// Copies out every retained entry, shard by shard (insertion order
+    /// within a shard) — the warm-start snapshot writer.
+    #[must_use]
+    pub fn export(&self) -> Vec<(MemoKey, RlcOptimum)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.extend(entries.iter().copied());
+        }
+        out
+    }
+
+    fn lookup(&self, key: &MemoKey) -> Option<RlcOptimum> {
+        let hit = self.probe(key);
+        // Counters deliberately live outside the lock (see module docs).
         if hit.is_some() {
             counter!("memo.hits").incr();
         } else {
@@ -170,21 +333,30 @@ impl OptimumMemo {
         hit
     }
 
-    fn insert(&self, key: MemoKey, value: RlcOptimum) {
-        let mut entries = self
-            .entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // A racing solver may have inserted the same key meanwhile;
-        // keep the first answer so repeated hits stay self-consistent.
-        if entries.iter().any(|(k, _)| *k == key) {
-            return;
-        }
-        if entries.len() >= self.capacity {
-            entries.remove(0);
+    /// Returns `true` if the entry was inserted (`false`: key already
+    /// present). Eviction counting happens after the lock is released.
+    fn insert(&self, key: MemoKey, value: RlcOptimum) -> bool {
+        let (inserted, evicted) = {
+            let mut entries = self.shards[self.shard_of(&key)]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // A racing solver may have inserted the same key meanwhile;
+            // keep the first answer so repeated hits stay self-consistent.
+            if entries.iter().any(|(k, _)| *k == key) {
+                (false, false)
+            } else {
+                let evicted = entries.len() >= self.shard_capacity;
+                if evicted {
+                    entries.remove(0);
+                }
+                entries.push((key, value));
+                (true, evicted)
+            }
+        };
+        if evicted {
             counter!("memo.evictions").incr();
         }
-        entries.push((key, value));
+        inserted
     }
 }
 
@@ -215,19 +387,76 @@ mod tests {
         assert_ne!(quantize(1.0), quantize(2.0));
     }
 
+    /// Pre-fix regression for the truncating quantizer: two neighbours
+    /// one ulp apart that straddle a bucket boundary (`…FFFFF` /
+    /// `…00000` low mantissa bits) must share a bucket. Truncation put
+    /// them in different buckets, so the second of two noise-equal asks
+    /// paid a full re-solve.
+    #[test]
+    fn quantize_rounds_across_bucket_boundaries() {
+        let low_mask = (1u64 << QUANT_BITS) - 1;
+        let x = f64::from_bits(1.8e-6_f64.to_bits() | low_mask);
+        let up = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(
+            quantize(x),
+            quantize(up),
+            "boundary-straddling ulp neighbours must share a bucket"
+        );
+        // Rounding is to the *nearest* bucket: a value just under the
+        // midpoint keeps the lower bucket, just over takes the upper.
+        let base = 1.0f64.to_bits();
+        let below_mid = f64::from_bits(base | (low_mask >> 1));
+        let above_mid = f64::from_bits(base | ((low_mask >> 1) + 1));
+        assert_eq!(quantize(below_mid), base);
+        assert_eq!(quantize(above_mid), base + (1u64 << QUANT_BITS));
+        // Negative values round on magnitude, and the sign survives.
+        assert_eq!(quantize(-1.0), (-1.0f64).to_bits());
+        assert_ne!(quantize(-1.0), quantize(1.0));
+    }
+
+    /// Pre-fix regression for the dead length slot: the key is exactly
+    /// the 7 live words — quantized (r, l, c) and exact driver and
+    /// threshold bits. The old 8-word key carried a hardcoded
+    /// `quantize(0.0)` length component that no caller could vary.
+    #[test]
+    fn key_has_exactly_the_seven_live_words() {
+        let (line, driver) = setup();
+        let opts = OptimizerOptions::default();
+        let key = key_for(&line, &driver, opts);
+        assert_eq!(key.len(), 7);
+        assert_eq!(
+            key,
+            [
+                quantize(line.resistance().get()),
+                quantize(line.inductance().get()),
+                quantize(line.capacitance().get()),
+                driver.output_resistance.get().to_bits(),
+                driver.parasitic_capacitance.get().to_bits(),
+                driver.input_capacitance.get().to_bits(),
+                opts.threshold.to_bits(),
+            ]
+        );
+    }
+
     #[test]
     fn second_ask_is_served_from_the_memo() {
         let (line, driver) = setup();
         let memo = OptimumMemo::default();
         let before = rlckit_trace::snapshot();
-        let a = memo.optimum(&line, &driver, OptimizerOptions::default()).unwrap();
+        let (a, first) = memo
+            .optimum_served(&line, &driver, OptimizerOptions::default())
+            .unwrap();
+        assert_eq!(first, Served::Solved);
         // A measurement-noise perturbation of the inductance: same key.
         let noisy = LineRlc::new(
             line.resistance(),
             HenriesPerMeter::new(f64::from_bits(line.inductance().get().to_bits() + 1)),
             line.capacitance(),
         );
-        let b = memo.optimum(&noisy, &driver, OptimizerOptions::default()).unwrap();
+        let (b, second) = memo
+            .optimum_served(&noisy, &driver, OptimizerOptions::default())
+            .unwrap();
+        assert_eq!(second, Served::Hit);
         let delta = rlckit_trace::snapshot().since(&before);
         assert_eq!(delta.counter("memo.misses"), 1);
         assert_eq!(delta.counter("memo.hits"), 1);
@@ -292,11 +521,15 @@ mod tests {
         assert_eq!(delta.counter("memo.misses"), 1);
     }
 
+    /// Regression for the dead length slot (behavioural half): an
+    /// `optimum` ask and `route_delay` asks at two different lengths
+    /// all share **one** memo entry — one miss, then hits.
     #[test]
-    fn route_delay_reuses_the_optimum_entry() {
+    fn optimum_and_route_delay_share_one_entry() {
         let (line, driver) = setup();
         let memo = OptimumMemo::default();
         let before = rlckit_trace::snapshot();
+        let opt = memo.optimum(&line, &driver, OptimizerOptions::default()).unwrap();
         let d1 = memo
             .route_delay(&line, &driver, Meters::from_milli(30.0), OptimizerOptions::default())
             .unwrap();
@@ -304,8 +537,119 @@ mod tests {
             .route_delay(&line, &driver, Meters::from_milli(60.0), OptimizerOptions::default())
             .unwrap();
         let delta = rlckit_trace::snapshot().since(&before);
-        assert_eq!(delta.counter("memo.misses"), 1, "one solve serves both lengths");
-        assert_eq!(delta.counter("memo.hits"), 1);
+        assert_eq!(memo.len(), 1, "every length maps onto the optimum's entry");
+        assert_eq!(delta.counter("memo.misses"), 1, "one solve serves all lengths");
+        assert_eq!(delta.counter("memo.hits"), 2);
+        assert_eq!(
+            d1.get().to_bits(),
+            opt.total_delay(Meters::from_milli(30.0)).get().to_bits()
+        );
         assert!(d2.get() > d1.get());
+    }
+
+    #[test]
+    fn lcrit_is_served_from_the_optimum_entry() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::default();
+        let before = rlckit_trace::snapshot();
+        let opt = memo.optimum(&line, &driver, OptimizerOptions::default()).unwrap();
+        let lc = memo.lcrit(&line, &driver, OptimizerOptions::default()).unwrap();
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(lc.get().to_bits(), opt.critical_inductance.get().to_bits());
+        assert_eq!(delta.counter("memo.misses"), 1);
+        assert_eq!(delta.counter("memo.hits"), 1);
+        assert!(lc.get() > 0.0);
+    }
+
+    /// Regression for lock-held counter updates: [`OptimumMemo::probe`]
+    /// is the entire critical section of a lookup and must record
+    /// nothing — hit/miss accounting happens outside the lock. Before
+    /// the fix the locked region itself bumped the counters (and on
+    /// first touch took the trace registry lock while still holding the
+    /// entries mutex), so no telemetry-free locked read could exist.
+    #[test]
+    fn probe_is_telemetry_free_and_lookup_counts_outside_the_lock() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::default();
+        let opts = OptimizerOptions::default();
+        memo.optimum(&line, &driver, opts).unwrap();
+        let key = key_for(&line, &driver, opts);
+
+        let before = rlckit_trace::snapshot();
+        assert!(memo.probe(&key).is_some());
+        assert!(memo.probe(&[0; 7]).is_none());
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.hits"), 0, "probe must not count");
+        assert_eq!(delta.counter("memo.misses"), 0, "probe must not count");
+
+        // The counting lookup path still records exactly once per ask.
+        let before = rlckit_trace::snapshot();
+        memo.optimum(&line, &driver, opts).unwrap();
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.hits"), 1);
+        assert_eq!(delta.counter("memo.misses"), 0);
+    }
+
+    #[test]
+    fn sharded_memo_routes_keys_stably_and_bounds_each_shard() {
+        let (line, driver) = setup();
+        let memo = OptimumMemo::sharded(4, 2);
+        assert_eq!(memo.shard_count(), 4);
+        let mut inserted = Vec::new();
+        for i in 0..10 {
+            let l = LineRlc::new(
+                line.resistance(),
+                HenriesPerMeter::from_nano_per_milli(0.5 + 0.4 * f64::from(i)),
+                line.capacitance(),
+            );
+            memo.optimum(&l, &driver, OptimizerOptions::default()).unwrap();
+            inserted.push(key_for(&l, &driver, OptimizerOptions::default()));
+        }
+        for s in 0..memo.shard_count() {
+            assert!(memo.shard_len(s) <= 2, "shard {s} exceeded its capacity");
+        }
+        // Routing is a pure function of the key.
+        for key in &inserted {
+            assert_eq!(memo.shard_of(key), memo.shard_of(key));
+            assert!(memo.shard_of(key) < 4);
+        }
+        // Keys spread across more than one shard on this grid.
+        let shards_used: std::collections::BTreeSet<usize> =
+            inserted.iter().map(|k| memo.shard_of(k)).collect();
+        assert!(shards_used.len() > 1, "hash routing degenerated to one shard");
+    }
+
+    #[test]
+    fn preload_and_export_round_trip_without_counters() {
+        let (line, driver) = setup();
+        let source = OptimumMemo::sharded(3, 8);
+        for i in 0..5 {
+            let l = LineRlc::new(
+                line.resistance(),
+                HenriesPerMeter::from_nano_per_milli(0.6 + 0.5 * f64::from(i)),
+                line.capacitance(),
+            );
+            source.optimum(&l, &driver, OptimizerOptions::default()).unwrap();
+        }
+        let entries = source.export();
+        assert_eq!(entries.len(), 5);
+
+        let target = OptimumMemo::sharded(5, 8);
+        let before = rlckit_trace::snapshot();
+        for (key, value) in &entries {
+            assert!(target.preload(*key, *value), "fresh preload must insert");
+            assert!(!target.preload(*key, *value), "duplicate preload must no-op");
+        }
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.hits"), 0);
+        assert_eq!(delta.counter("memo.misses"), 0);
+        assert_eq!(target.len(), 5);
+        for (key, value) in &entries {
+            let cached = target.probe(key).expect("preloaded entry present");
+            assert_eq!(
+                cached.segment_delay.get().to_bits(),
+                value.segment_delay.get().to_bits()
+            );
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! The `rlckit-serve` daemon: answers `optimum` / `route_delay` /
+//! `lcrit` queries over stdin/stdout JSONL or a localhost TCP socket.
+//!
+//! ```text
+//! rlckit-serve [--stdin | --tcp ADDR]
+//!              [--workers N] [--queue-depth N] [--shard-capacity N]
+//!              [--warm-grid POINTS] [--snapshot PATH]
+//! ```
+//!
+//! Boot order: load `--snapshot` if present and compatible, then
+//! `--warm-grid` fills whatever grid points are still missing, then the
+//! (possibly grown) memo is saved back to `--snapshot`. Diagnostics go
+//! to stderr; stdout carries only protocol responses. Telemetry follows
+//! the usual `RLCKIT_TRACE` contract and is flushed on exit.
+
+#![forbid(unsafe_code)]
+
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+use rlckit_serve::snapshot::{self, LoadOutcome};
+use rlckit_serve::{ServeConfig, Server};
+
+struct Args {
+    tcp: Option<String>,
+    config: ServeConfig,
+    warm_grid: usize,
+    snapshot: Option<std::path::PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: rlckit-serve [--stdin | --tcp ADDR] [--workers N] [--queue-depth N] \
+     [--shard-capacity N] [--warm-grid POINTS] [--snapshot PATH]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        config: ServeConfig::default(),
+        warm_grid: 0,
+        snapshot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--stdin" => args.tcp = None,
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--shard-capacity" => {
+                args.config.shard_capacity = value("--shard-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--shard-capacity: {e}"))?;
+            }
+            "--warm-grid" => {
+                args.warm_grid = value("--warm-grid")?
+                    .parse()
+                    .map_err(|e| format!("--warm-grid: {e}"))?;
+            }
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?.into()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn boot(args: &Args) -> std::io::Result<Server> {
+    let server = Server::new(args.config);
+    if let Some(path) = &args.snapshot {
+        match snapshot::load(path, server.memo())? {
+            LoadOutcome::Loaded(n) => {
+                eprintln!("rlckit-serve: warm-started {n} entries from {}", path.display());
+            }
+            LoadOutcome::Missing => {
+                eprintln!("rlckit-serve: no snapshot at {} (cold boot)", path.display());
+            }
+            LoadOutcome::Incompatible => {
+                eprintln!(
+                    "rlckit-serve: snapshot at {} has a different format fingerprint; ignoring",
+                    path.display()
+                );
+            }
+        }
+    }
+    if args.warm_grid > 0 {
+        let solved = server.warm_grid(args.warm_grid);
+        eprintln!(
+            "rlckit-serve: warm grid solved {solved} new entries ({} total)",
+            server.memo().len()
+        );
+    }
+    if let Some(path) = &args.snapshot {
+        let written = snapshot::save(path, server.memo())?;
+        eprintln!("rlckit-serve: snapshot of {written} entries saved to {}", path.display());
+    }
+    Ok(server)
+}
+
+fn run() -> std::io::Result<ExitCode> {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let server = boot(&args)?;
+
+    match &args.tcp {
+        None => {
+            let stdin = std::io::stdin().lock();
+            // `Stdout` (unlike `StdoutLock`) is `Send`, which the writer
+            // thread needs; it still buffers line-by-line internally.
+            let summary = server.serve(stdin, std::io::stdout())?;
+            eprintln!(
+                "rlckit-serve: served {} requests ({} hits, {} misses, {} errors)",
+                summary.requests, summary.hits, summary.misses, summary.errors
+            );
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)?;
+            eprintln!("rlckit-serve: listening on {}", listener.local_addr()?);
+            for stream in listener.incoming() {
+                let stream = stream?;
+                let peer = stream.peer_addr()?;
+                let reader = BufReader::new(stream.try_clone()?);
+                // Connections are served sequentially: the memo warms
+                // across them, and each gets the whole pool.
+                match server.serve(reader, stream) {
+                    Ok(summary) => eprintln!(
+                        "rlckit-serve: {peer} closed after {} requests ({} hits)",
+                        summary.requests, summary.hits
+                    ),
+                    Err(e) => eprintln!("rlckit-serve: connection {peer}: {e}"),
+                }
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let code = match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rlckit-serve: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    rlckit_trace::flush();
+    let _ = std::io::stderr().flush();
+    code
+}

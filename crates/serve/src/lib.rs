@@ -1,0 +1,33 @@
+//! `rlckit-serve`: a long-running query daemon over the RLC optimizer.
+//!
+//! Campaigns ([`rlckit::sweeps`], the figure binaries) are batch jobs:
+//! enumerate a grid, solve every point, write artifacts. Interactive
+//! use — a designer asking "optimum for *this* wire?", a flow invoking
+//! `lcrit` per net — has the opposite shape: many small questions, most
+//! of them near-repeats, where latency is dominated by the Newton solve
+//! unless answers are memoized. This crate is that serving layer:
+//!
+//! * [`protocol`] — a line-oriented JSON request/response protocol
+//!   (`optimum`, `route_delay`, `lcrit`, `stats`), hand-validated so no
+//!   request can reach a panicking constructor;
+//! * [`engine`] — the pipeline: one router, a
+//!   [`rlckit_par::ShardedPool`] of workers pinned one-to-one to the
+//!   shards of a [`rlckit::memo::OptimumMemo`], and a writer that
+//!   restores request order (byte-identical reruns by construction);
+//! * [`snapshot`] — boot-time warm-start persistence, so the NTRS grid
+//!   optima survive restarts.
+//!
+//! The `rlckit-serve` binary wires these to stdin/stdout (JSONL) or a
+//! localhost TCP listener. Campaign code must **not** route through
+//! this crate: served answers are quantization-class representatives
+//! (see the memo docs), while campaigns promise exact-input
+//! bit-identity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod snapshot;
+
+pub use engine::{Server, ServeConfig, ServeSummary};

@@ -1,0 +1,567 @@
+//! The `rlckit-serve` wire protocol: one JSON object per line, in and
+//! out.
+//!
+//! # Requests
+//!
+//! Every request carries an `"id"` (echoed verbatim in the response)
+//! and an `"op"`:
+//!
+//! | op | answers | extra fields |
+//! |---|---|---|
+//! | `optimum` | optimal `(h, k)` configuration | — |
+//! | `route_delay` | total delay of an optimally-buffered route | `length_m` or `length_mm` |
+//! | `lcrit` | critical inductance at the optimum (Eq. 4) | — |
+//! | `stats` | memo/served counters | — |
+//!
+//! The line and driver are specified either from a named NTRS node —
+//! `"node"`: `"250nm"`, `"100nm"` or `"100nm_eps33"` — plus the swept
+//! inductance (`l_nh_mm` or `l_h_per_m`), or from raw SI fields
+//! (`r_ohm_per_m`, `c_f_per_m`, `rs_ohm`, `cp_f`, `c0_f`), which also
+//! override individual node defaults. `threshold` (default 0.5) selects
+//! the delay threshold `f`.
+//!
+//! ```text
+//! {"id":1,"op":"optimum","node":"100nm","l_nh_mm":1.8}
+//! {"id":2,"op":"route_delay","node":"100nm","l_nh_mm":1.8,"length_mm":30}
+//! ```
+//!
+//! # Responses
+//!
+//! All responses echo `id` and `op` and carry `"ok"`. Successful query
+//! responses add `"source"`: `"memo"` (served from the sharded memo,
+//! bit-identical to the first answer for the quantized key) or
+//! `"solve"` (computed now, and inserted). Floating-point values are
+//! printed with Rust's shortest-round-trip formatting, so equal bits
+//! always produce equal bytes — the two-run byte-identity the tier-1
+//! serve smoke asserts hangs off this.
+
+use rlckit::optimizer::OptimizerOptions;
+use rlckit::optimizer::RlcOptimum;
+use rlckit::memo::Served;
+use rlckit_tech::{DriverParams, TechNode};
+use rlckit_tline::LineRlc;
+use rlckit_units::{FaradsPerMeter, HenriesPerMeter, Meters, OhmsPerMeter, Seconds};
+
+/// A parsed scalar JSON value — all the protocol's flat objects need.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Splits one flat JSON object line into `(key, value)` pairs. Strict
+/// about structure (quotes, escapes, commas), intolerant of nesting —
+/// the protocol is flat by design, and rejecting nesting keeps a
+/// hostile payload from smuggling fields.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return Err("request is not a JSON object".into());
+    }
+    bytes = &bytes[1..bytes.len() - 1];
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    let skip_ws = |bytes: &[u8], mut p: usize| {
+        while matches!(bytes.get(p), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            p += 1;
+        }
+        p
+    };
+    loop {
+        pos = skip_ws(bytes, pos);
+        if pos == bytes.len() {
+            if fields.is_empty() {
+                break; // {} is a valid (empty) object
+            }
+            return Err("trailing comma".into());
+        }
+        let (key, next) = parse_string(bytes, pos)?;
+        pos = skip_ws(bytes, next);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        pos = skip_ws(bytes, pos + 1);
+        let (value, next) = parse_value(bytes, pos)?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate field {key:?}"));
+        }
+        fields.push((key, value));
+        pos = skip_ws(bytes, next);
+        match bytes.get(pos) {
+            None => break,
+            Some(b',') => pos += 1,
+            Some(_) => return Err("expected ',' between fields".into()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses a quoted string starting at `pos`; returns it and the
+/// position after the closing quote.
+fn parse_string(bytes: &[u8], pos: usize) -> Result<(String, usize), String> {
+    if bytes.get(pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    let mut out = String::new();
+    let mut p = pos + 1;
+    loop {
+        match bytes.get(p) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => return Ok((out, p + 1)),
+            Some(b'\\') => {
+                p += 1;
+                match bytes.get(p) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    _ => return Err("unsupported escape".into()),
+                }
+                p += 1;
+            }
+            Some(&c) if c < 0x20 => return Err("control byte in string".into()),
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so
+                // boundaries are valid).
+                let s = std::str::from_utf8(&bytes[p..]).map_err(|_| "bad utf-8")?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                p += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: usize) -> Result<(Value, usize), String> {
+    match bytes.get(pos) {
+        Some(b'"') => parse_string(bytes, pos).map(|(s, p)| (Value::Str(s), p)),
+        Some(b't') if bytes[pos..].starts_with(b"true") => Ok((Value::Bool(true), pos + 4)),
+        Some(b'f') if bytes[pos..].starts_with(b"false") => Ok((Value::Bool(false), pos + 5)),
+        Some(b'n') if bytes[pos..].starts_with(b"null") => Ok((Value::Null, pos + 4)),
+        Some(b'{' | b'[') => Err("nested containers are not part of the protocol".into()),
+        Some(_) => {
+            let start = pos;
+            let mut p = pos;
+            while bytes
+                .get(p)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                p += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..p]).map_err(|_| "bad number")?;
+            text.parse::<f64>()
+                .map(|n| (Value::Num(n), p))
+                .map_err(|_| format!("bad number {text:?}"))
+        }
+        None => Err("missing value".into()),
+    }
+}
+
+/// The four request operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// The continuous optimum `(h_opt, k_opt, τ_opt)`.
+    Optimum,
+    /// Total optimally-buffered delay of a route of a given length.
+    RouteDelay,
+    /// Critical inductance at the optimum (Eq. 4).
+    Lcrit,
+    /// Serving counters (a pipeline barrier: answered only after every
+    /// earlier response has been written).
+    Stats,
+}
+
+impl Op {
+    /// The wire name of this op.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Optimum => "optimum",
+            Self::RouteDelay => "route_delay",
+            Self::Lcrit => "lcrit",
+            Self::Stats => "stats",
+        }
+    }
+}
+
+/// A fully validated solver-bound query (`optimum` / `route_delay` /
+/// `lcrit`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Which answer is wanted.
+    pub op: Op,
+    /// The line under question.
+    pub line: LineRlc,
+    /// The driving repeater technology.
+    pub driver: DriverParams,
+    /// Optimizer options (threshold; solver knobs stay at defaults).
+    pub options: OptimizerOptions,
+    /// Route length (`route_delay` only).
+    pub length: Option<Meters>,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A solver-bound query.
+    Query(Box<Query>),
+    /// A stats barrier.
+    Stats {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+}
+
+fn get_num(fields: &[(String, Value)], key: &str) -> Result<Option<f64>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Num(n))) => Ok(Some(*n)),
+        Some((_, other)) => Err(format!("field {key:?} must be a number, got {other:?}")),
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, Value)], key: &str) -> Result<Option<&'a str>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Str(s))) => Ok(Some(s.as_str())),
+        Some((_, other)) => Err(format!("field {key:?} must be a string, got {other:?}")),
+    }
+}
+
+fn require_positive(name: &str, x: f64) -> Result<f64, String> {
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("{name} must be finite and > 0, got {x}"))
+    }
+}
+
+fn require_non_negative(name: &str, x: f64) -> Result<f64, String> {
+    if x.is_finite() && x >= 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("{name} must be finite and >= 0, got {x}"))
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// A human-readable message naming the malformed or missing field. The
+/// caller pairs it with whatever `id` could still be extracted (see
+/// [`request_id_of`]) so the client can correlate the error.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_object(line)?;
+    let id = match get_num(&fields, "id")? {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) => n as u64,
+        Some(n) => return Err(format!("id must be a non-negative integer, got {n}")),
+        None => return Err("missing field \"id\"".into()),
+    };
+    let op = match get_str(&fields, "op")? {
+        Some("optimum") => Op::Optimum,
+        Some("route_delay") => Op::RouteDelay,
+        Some("lcrit") => Op::Lcrit,
+        Some("stats") => return Ok(Request::Stats { id }),
+        Some(other) => return Err(format!("unknown op {other:?}")),
+        None => return Err("missing field \"op\"".into()),
+    };
+
+    // Node defaults first, raw fields override.
+    let node = match get_str(&fields, "node")? {
+        None => None,
+        Some("250nm") => Some(TechNode::nm250()),
+        Some("100nm") => Some(TechNode::nm100()),
+        Some("100nm_eps33") => Some(TechNode::nm100_with_250nm_dielectric()),
+        Some(other) => return Err(format!("unknown node {other:?}")),
+    };
+    let defaults = node.as_ref().map(|n| (n.line(), n.driver()));
+
+    let r = match get_num(&fields, "r_ohm_per_m")? {
+        Some(x) => require_positive("r_ohm_per_m", x)?,
+        None => defaults
+            .as_ref()
+            .map(|(l, _)| l.resistance.get())
+            .ok_or("need \"r_ohm_per_m\" or \"node\"")?,
+    };
+    let c = match get_num(&fields, "c_f_per_m")? {
+        Some(x) => require_positive("c_f_per_m", x)?,
+        None => defaults
+            .as_ref()
+            .map(|(l, _)| l.capacitance.get())
+            .ok_or("need \"c_f_per_m\" or \"node\"")?,
+    };
+    let l = match (get_num(&fields, "l_h_per_m")?, get_num(&fields, "l_nh_mm")?) {
+        (Some(_), Some(_)) => return Err("give \"l_h_per_m\" or \"l_nh_mm\", not both".into()),
+        (Some(x), None) => require_non_negative("l_h_per_m", x)?,
+        (None, Some(x)) => require_non_negative("l_nh_mm", x)? * 1e-6,
+        (None, None) => return Err("missing inductance (\"l_h_per_m\" or \"l_nh_mm\")".into()),
+    };
+    let rs = match get_num(&fields, "rs_ohm")? {
+        Some(x) => require_positive("rs_ohm", x)?,
+        None => defaults
+            .as_ref()
+            .map(|(_, d)| d.output_resistance.get())
+            .ok_or("need \"rs_ohm\" or \"node\"")?,
+    };
+    let cp = match get_num(&fields, "cp_f")? {
+        Some(x) => require_non_negative("cp_f", x)?,
+        None => defaults
+            .as_ref()
+            .map(|(_, d)| d.parasitic_capacitance.get())
+            .ok_or("need \"cp_f\" or \"node\"")?,
+    };
+    let c0 = match get_num(&fields, "c0_f")? {
+        Some(x) => require_positive("c0_f", x)?,
+        None => defaults
+            .as_ref()
+            .map(|(_, d)| d.input_capacitance.get())
+            .ok_or("need \"c0_f\" or \"node\"")?,
+    };
+    let threshold = match get_num(&fields, "threshold")? {
+        Some(x) if x.is_finite() && x > 0.0 && x < 1.0 => x,
+        Some(x) => return Err(format!("threshold must be in (0, 1), got {x}")),
+        None => OptimizerOptions::default().threshold,
+    };
+    let length = match (get_num(&fields, "length_m")?, get_num(&fields, "length_mm")?) {
+        (Some(_), Some(_)) => return Err("give \"length_m\" or \"length_mm\", not both".into()),
+        (Some(x), None) => Some(require_positive("length_m", x)?),
+        (None, Some(x)) => Some(require_positive("length_mm", x)? * 1e-3),
+        (None, None) => None,
+    };
+    if op == Op::RouteDelay && length.is_none() {
+        return Err("route_delay needs \"length_m\" or \"length_mm\"".into());
+    }
+
+    Ok(Request::Query(Box::new(Query {
+        id,
+        op,
+        line: LineRlc::new(
+            OhmsPerMeter::new(r),
+            HenriesPerMeter::new(l),
+            FaradsPerMeter::new(c),
+        ),
+        driver: DriverParams::new(
+            rlckit_units::Ohms::new(rs),
+            rlckit_units::Farads::new(cp),
+            rlckit_units::Farads::new(c0),
+        ),
+        options: OptimizerOptions {
+            threshold,
+            ..OptimizerOptions::default()
+        },
+        length: length.map(Meters::new),
+    })))
+}
+
+/// Best-effort extraction of the `id` of a line that failed
+/// [`parse_request`], so error responses can still be correlated.
+#[must_use]
+pub fn request_id_of(line: &str) -> Option<u64> {
+    let fields = parse_object(line).ok()?;
+    match get_num(&fields, "id").ok()?? {
+        n if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) => Some(n as u64),
+        _ => None,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Successful `optimum` response.
+#[must_use]
+pub fn response_optimum(id: u64, opt: &RlcOptimum, served: Served) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"op\":\"optimum\",\"h_m\":{},\"k\":{},\
+         \"segment_delay_s\":{},\"delay_per_m_s\":{},\"lcrit_h_per_m\":{},\
+         \"damping\":\"{}\",\"source\":\"{}\"}}",
+        opt.segment_length.get(),
+        opt.repeater_size,
+        opt.segment_delay.get(),
+        opt.delay_per_length(),
+        opt.critical_inductance.get(),
+        opt.damping,
+        served.label(),
+    )
+}
+
+/// Successful `route_delay` response.
+#[must_use]
+pub fn response_route_delay(id: u64, length: Meters, delay: Seconds, served: Served) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"op\":\"route_delay\",\"length_m\":{},\
+         \"delay_s\":{},\"source\":\"{}\"}}",
+        length.get(),
+        delay.get(),
+        served.label(),
+    )
+}
+
+/// Successful `lcrit` response.
+#[must_use]
+pub fn response_lcrit(id: u64, lcrit: HenriesPerMeter, served: Served) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"op\":\"lcrit\",\"lcrit_h_per_m\":{},\"source\":\"{}\"}}",
+        lcrit.get(),
+        served.label(),
+    )
+}
+
+/// Counters reported by a `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsView {
+    /// Entries currently retained across all shards.
+    pub entries: usize,
+    /// Worker (= shard) count.
+    pub workers: usize,
+    /// Process-lifetime `memo.hits`.
+    pub hits: u64,
+    /// Process-lifetime `memo.misses`.
+    pub misses: u64,
+    /// Process-lifetime `memo.evictions`.
+    pub evictions: u64,
+}
+
+/// Successful `stats` response.
+#[must_use]
+pub fn response_stats(id: u64, stats: &StatsView) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"op\":\"stats\",\"entries\":{},\"workers\":{},\
+         \"hits\":{},\"misses\":{},\"evictions\":{}}}",
+        stats.entries, stats.workers, stats.hits, stats.misses, stats.evictions,
+    )
+}
+
+/// Error response; `id` is `null` when the request's id could not even
+/// be parsed.
+#[must_use]
+pub fn response_error(id: Option<u64>, message: &str) -> String {
+    let id = id.map_or_else(|| "null".to_string(), |n| n.to_string());
+    format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", json_escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_shorthand_fills_line_and_driver() {
+        let req = parse_request(r#"{"id":7,"op":"optimum","node":"100nm","l_nh_mm":1.8}"#)
+            .expect("valid request");
+        let Request::Query(q) = req else { panic!("not a query") };
+        let node = TechNode::nm100();
+        assert_eq!(q.id, 7);
+        assert_eq!(q.op, Op::Optimum);
+        assert_eq!(q.line.resistance(), node.line().resistance);
+        assert_eq!(q.line.capacitance(), node.line().capacitance);
+        assert!((q.line.inductance().to_nano_per_milli() - 1.8).abs() < 1e-12);
+        assert_eq!(q.driver, node.driver());
+        assert!((q.options.threshold - 0.5).abs() < 1e-15);
+        assert_eq!(q.length, None);
+    }
+
+    #[test]
+    fn raw_fields_override_node_defaults() {
+        let req = parse_request(
+            r#"{"id":1,"op":"lcrit","node":"250nm","l_nh_mm":1.0,"rs_ohm":5000.0,"threshold":0.9}"#,
+        )
+        .expect("valid request");
+        let Request::Query(q) = req else { panic!("not a query") };
+        assert!((q.driver.output_resistance.get() - 5000.0).abs() < 1e-9);
+        assert_eq!(
+            q.driver.parasitic_capacitance,
+            TechNode::nm250().driver().parasitic_capacitance
+        );
+        assert!((q.options.threshold - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn route_delay_requires_a_length_and_converts_mm() {
+        let err = parse_request(r#"{"id":1,"op":"route_delay","node":"100nm","l_nh_mm":1.8}"#)
+            .unwrap_err();
+        assert!(err.contains("length"), "{err}");
+        let req = parse_request(
+            r#"{"id":1,"op":"route_delay","node":"100nm","l_nh_mm":1.8,"length_mm":30}"#,
+        )
+        .expect("valid request");
+        let Request::Query(q) = req else { panic!("not a query") };
+        assert!((q.length.unwrap().get() - 0.03).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_not_panicked() {
+        for (line, needle) in [
+            ("", "object"),
+            ("{}", "id"),
+            (r#"{"id":1}"#, "op"),
+            (r#"{"id":1,"op":"bogus"}"#, "unknown op"),
+            (r#"{"id":1,"op":"optimum"}"#, "node"),
+            (r#"{"id":1,"op":"optimum","node":"7nm","l_nh_mm":1}"#, "unknown node"),
+            (r#"{"id":1,"op":"optimum","node":"100nm"}"#, "inductance"),
+            (r#"{"id":1,"op":"optimum","node":"100nm","l_nh_mm":-1}"#, ">= 0"),
+            (r#"{"id":1,"op":"optimum","node":"100nm","l_nh_mm":1,"threshold":1.5}"#, "threshold"),
+            (r#"{"id":1,"op":"optimum","node":"100nm","l_nh_mm":1,"r_ohm_per_m":0}"#, "> 0"),
+            (r#"{"id":-3,"op":"optimum","node":"100nm","l_nh_mm":1}"#, "id"),
+            (r#"{"id":1,"id":2,"op":"stats"}"#, "duplicate"),
+            (r#"{"id":1,"op":"stats","x":{"nested":1}}"#, "nested"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.to_lowercase().contains(&needle.to_lowercase()),
+                "{line}: expected {needle:?} in {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_parses_and_ids_survive_parse_failures() {
+        assert_eq!(
+            parse_request(r#"{"id":9,"op":"stats"}"#).unwrap(),
+            Request::Stats { id: 9 }
+        );
+        assert_eq!(request_id_of(r#"{"id":4,"op":"bogus"}"#), Some(4));
+        assert_eq!(request_id_of("not json"), None);
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let err = response_error(Some(3), "bad \"field\"");
+        assert_eq!(err, r#"{"id":3,"ok":false,"error":"bad \"field\""}"#);
+        assert_eq!(
+            response_error(None, "x"),
+            r#"{"id":null,"ok":false,"error":"x"}"#
+        );
+        let stats = response_stats(
+            1,
+            &StatsView {
+                entries: 2,
+                workers: 4,
+                hits: 10,
+                misses: 3,
+                evictions: 0,
+            },
+        );
+        assert_eq!(
+            stats,
+            r#"{"id":1,"ok":true,"op":"stats","entries":2,"workers":4,"hits":10,"misses":3,"evictions":0}"#
+        );
+    }
+}

@@ -41,10 +41,18 @@
 //! | unset, empty, `0`, `off` | nothing (tracing disabled) |
 //! | `summary` | aligned text summary to stderr |
 //! | `jsonl` | JSON lines to stderr |
-//! | `jsonl:<path>` | JSON lines written to `<path>` |
+//! | `jsonl:<path>` | JSON lines written to `<path>` (truncate: last flush wins) |
+//! | `jsonl+:<path>` | JSON lines **appended** to `<path>`, one marker-delimited snapshot per flush |
 //!
 //! Any other value behaves like `summary` (fail open: asking for
 //! telemetry should never silence it).
+//!
+//! `jsonl:` truncation is the right semantics for one-shot campaign
+//! bins — the final flush is the complete report. A long-running daemon
+//! flushing periodically needs `jsonl+:`: every flush appends a
+//! `{"type":"flush","value":<seq>}` marker line followed by the full
+//! metric snapshot, so the file preserves the whole history instead of
+//! only the last flush.
 //!
 //! # Examples
 //!
@@ -333,6 +341,7 @@ enum Sink {
     Disabled,
     Summary,
     Jsonl(Option<PathBuf>),
+    JsonlAppend(PathBuf),
 }
 
 impl Sink {
@@ -345,7 +354,9 @@ impl Sink {
             "summary" | "1" => Self::Summary,
             "jsonl" => Self::Jsonl(None),
             _ => {
-                if let Some(path) = v.strip_prefix("jsonl:") {
+                if let Some(path) = v.strip_prefix("jsonl+:") {
+                    Self::JsonlAppend(PathBuf::from(path))
+                } else if let Some(path) = v.strip_prefix("jsonl:") {
                     Self::Jsonl(Some(PathBuf::from(path)))
                 } else {
                     Self::Summary
@@ -706,10 +717,34 @@ pub fn jsonl_string() -> String {
     jsonl_of(&snapshot())
 }
 
+/// Per-process sequence number stamped into `jsonl+:` flush markers.
+static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Appends one marker-delimited snapshot of the current metrics to
+/// `path`: a `{"type":"flush","value":<seq>}` marker line (`seq` is a
+/// per-process counter starting at 0) followed by the full
+/// [`jsonl_string`] rendering. This is the `jsonl+:<path>` sink body —
+/// the history-preserving flush a periodically-flushing daemon needs,
+/// where the truncating `jsonl:<path>` sink would leave only the last
+/// flush on disk. The file is created if absent.
+///
+/// # Errors
+///
+/// Propagates the underlying open/write failure.
+pub fn append_jsonl_snapshot(path: &std::path::Path) -> std::io::Result<()> {
+    let seq = FLUSH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    write!(file, "{{\"type\":\"flush\",\"value\":{seq}}}\n{}", jsonl_string())
+}
+
 /// Writes the end-of-run report to the sink `RLCKIT_TRACE` selects
-/// (nothing when tracing is disabled). Call once at the end of a
-/// campaign binary or bench harness; a later flush overwrites an
-/// earlier file sink (last flush wins).
+/// (nothing when tracing is disabled). One-shot campaign binaries and
+/// the bench harness call it once at the end; with the truncating
+/// `jsonl:<path>` sink a later flush overwrites an earlier one (last
+/// flush wins — the final flush is the complete report). Long-running
+/// processes that flush periodically should run under `jsonl+:<path>`,
+/// where every flush appends a marker-delimited snapshot instead (see
+/// [`append_jsonl_snapshot`]).
 pub fn flush() {
     match env_sink() {
         Sink::Disabled => {}
@@ -722,6 +757,11 @@ pub fn flush() {
         Sink::Jsonl(Some(path)) => {
             if let Err(e) = std::fs::write(path, jsonl_string()) {
                 eprintln!("warning: could not write trace jsonl {}: {e}", path.display());
+            }
+        }
+        Sink::JsonlAppend(path) => {
+            if let Err(e) = append_jsonl_snapshot(path) {
+                eprintln!("warning: could not append trace jsonl {}: {e}", path.display());
             }
         }
     }
@@ -839,8 +879,52 @@ mod tests {
             Sink::parse("jsonl:/tmp/trace.jsonl"),
             Sink::Jsonl(Some(PathBuf::from("/tmp/trace.jsonl")))
         );
+        // Pre-fix regression: `jsonl+:` used to fall through to the
+        // summary sink, so a daemon asking for append-mode history got
+        // no file at all.
+        assert_eq!(
+            Sink::parse("jsonl+:/tmp/trace.jsonl"),
+            Sink::JsonlAppend(PathBuf::from("/tmp/trace.jsonl"))
+        );
         // Unknown values fail open to summary.
         assert_eq!(Sink::parse("weird"), Sink::Summary);
+    }
+
+    /// Pre-fix regression for the truncate-on-flush sink: periodic
+    /// flushes through the append sink must *accumulate* — two flushes
+    /// yield two marker-delimited snapshots, not one surviving "last
+    /// flush wins" image.
+    #[test]
+    fn two_append_flushes_preserve_two_snapshots() {
+        let path = std::env::temp_dir().join(format!(
+            "rlckit_trace_append_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        counter!("test.append_flush_counter").incr();
+        append_jsonl_snapshot(&path).expect("first append");
+        counter!("test.append_flush_counter").incr();
+        append_jsonl_snapshot(&path).expect("second append");
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let markers: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"flush\""))
+            .collect();
+        assert_eq!(markers.len(), 2, "each flush must leave its marker: {text}");
+        // Marker sequence numbers are distinct and increasing.
+        assert_ne!(markers[0], markers[1]);
+        let counter_lines = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"test.append_flush_counter\""))
+            .count();
+        assert_eq!(counter_lines, 2, "both snapshots must carry the counter");
+        // Every line is still a standalone JSON object.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

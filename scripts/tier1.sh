@@ -29,9 +29,10 @@ sched_two="$(mktemp -d)"
 sched_five="$(mktemp -d)"
 batch_scalar="$(mktemp -d)"
 batch_on="$(mktemp -d)"
+serve_dir="$(mktemp -d)"
 trap 'rm -f "$smoke_log" "$fault_log"; \
      rm -rf "$fault_clean" "$fault_armed" "$sched_serial" "$sched_two" "$sched_five" \
-            "$batch_scalar" "$batch_on"' EXIT
+            "$batch_scalar" "$batch_on" "$serve_dir"' EXIT
 RLCKIT_BENCH_SMOKE=1 RLCKIT_TRACE=summary cargo bench --offline --workspace 2>&1 \
   | tee "$smoke_log"
 if grep -q '\.no_convergence' "$smoke_log"; then
@@ -104,6 +105,36 @@ if ! cmp -s "$batch_scalar/fig07_delay_ratio.csv" "$batch_on/fig07_delay_ratio.c
   exit 1
 fi
 
+# Serving smoke: boot the daemon twice over one seeded loadgen mix
+# (cold boot saves a warm-start snapshot; the second boot reloads it).
+# Responses must be byte-identical across the runs, the trailing stats
+# barrier must show memo hits, and the solver must never fail to
+# converge while serving.
+cargo run --release --offline -q -p rlckit-bench --bin loadgen -- --emit=120 \
+  > "$serve_dir/mix.jsonl"
+for run in a b; do
+  RLCKIT_TRACE=summary cargo run --release --offline -q -p rlckit-serve -- \
+    --stdin --workers 4 --warm-grid 5 --snapshot "$serve_dir/memo.snapshot" \
+    < "$serve_dir/mix.jsonl" > "$serve_dir/$run.out" 2> "$serve_dir/$run.log"
+  if grep -q '\.no_convergence' "$serve_dir/$run.log"; then
+    echo "tier-1 gate: FAIL — rlckit-serve surfaced no_convergence (run $run)" >&2
+    exit 1
+  fi
+done
+if ! cmp -s "$serve_dir/a.out" "$serve_dir/b.out"; then
+  echo "tier-1 gate: FAIL — rlckit-serve responses drifted between two seeded runs" >&2
+  exit 1
+fi
+if ! grep -q 'warm-started' "$serve_dir/b.log"; then
+  echo "tier-1 gate: FAIL — second serve boot did not warm-start from the snapshot" >&2
+  exit 1
+fi
+serve_hits="$(tail -n 1 "$serve_dir/a.out" | grep -o '"hits":[0-9]*' | cut -d: -f2)"
+if ! awk -v x="${serve_hits:-0}" 'BEGIN { exit !(x > 0) }'; then
+  echo "tier-1 gate: FAIL — serve smoke took no memo hits (stats hits=${serve_hits:-missing})" >&2
+  exit 1
+fi
+
 # Perf guard on the committed bench baselines: the delay solver must
 # hold the paper's ≤4-iteration claim, and the optimizer's engineered
 # pre-flight cache hit must still land (exactly one hit per solve on
@@ -120,6 +151,20 @@ fi
 hits="$(bench_metric optimizer single_point_250nm cache_hits_per_solve)"
 if ! awk -v x="${hits:-0}" 'BEGIN { exit !(x >= 1.0) }'; then
   echo "tier-1 gate: FAIL — optimizer cache hits per solve dropped to ${hits:-0} (< 1)" >&2
+  exit 1
+fi
+# Serving guard (BENCH_serve): the committed hot-mix baseline must show
+# the memo absorbing the steady-state load — a warm replay of the
+# seeded 64/30/6 hot/noisy/cold mix serves (almost) everything from the
+# memo; a sub-0.9 hit rate means quantization or sharding broke.
+serve_rate="$(bench_metric serve hot_mix_replay hit_rate)"
+if ! awk -v x="${serve_rate:-0}" 'BEGIN { exit !(x > 0.9) }'; then
+  echo "tier-1 gate: FAIL — serve hot-mix hit rate ${serve_rate:-missing} <= 0.9" >&2
+  exit 1
+fi
+serve_errors="$(bench_metric serve hot_mix_replay errors)"
+if ! awk -v x="${serve_errors:-1}" 'BEGIN { exit !(x == 0) }'; then
+  echo "tier-1 gate: FAIL — serve hot-mix baseline recorded ${serve_errors:-missing} errors" >&2
   exit 1
 fi
 # Batch-engine guards (BENCH_batch): the serial lockstep win must hold

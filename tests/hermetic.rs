@@ -30,7 +30,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
         }
     }
     manifests.sort();
-    assert!(manifests.len() >= 12, "expected the full workspace, found {manifests:?}");
+    assert!(manifests.len() >= 14, "expected the full workspace, found {manifests:?}");
     assert!(
         manifests.iter().any(|m| m.ends_with("crates/par/Cargo.toml")),
         "the rlckit-par manifest must be scanned, found {manifests:?}"
@@ -42,6 +42,10 @@ fn workspace_manifests() -> Vec<PathBuf> {
     assert!(
         manifests.iter().any(|m| m.ends_with("crates/fault/Cargo.toml")),
         "the rlckit-fault manifest must be scanned, found {manifests:?}"
+    );
+    assert!(
+        manifests.iter().any(|m| m.ends_with("crates/serve/Cargo.toml")),
+        "the rlckit-serve manifest must be scanned, found {manifests:?}"
     );
     manifests
 }
