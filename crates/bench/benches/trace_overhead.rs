@@ -9,7 +9,10 @@
 //! * a span guard with tracing **disabled** (one relaxed load, no clock
 //!   read, no allocation);
 //! * a span guard with tracing **enabled** (two `Instant::now()` calls
-//!   plus four relaxed RMWs on drop).
+//!   plus four relaxed RMWs on drop);
+//! * a flight-recorder `event!` with tracing disabled (one relaxed
+//!   load — the tier-1 `trace_overhead` guard pins this budget) and
+//!   enabled (one clock read plus four relaxed ring stores).
 //!
 //! The smoke pass exercises all paths; the measured run writes the
 //! comparison into `results/BENCH_trace_overhead.json`. A real-world
@@ -24,7 +27,8 @@ use rlckit::optimizer::segment_structure;
 use rlckit_bench::timer::Harness;
 use rlckit_tech::TechNode;
 use rlckit_tline::{LineRlc, TwoPole};
-use rlckit_trace::{counter, histogram, span};
+use rlckit_trace::events::EventKind;
+use rlckit_trace::{counter, event, histogram, span};
 use rlckit_units::{HenriesPerMeter, Meters};
 
 fn two_pole() -> TwoPole {
@@ -52,6 +56,25 @@ fn bench_primitives(h: &mut Harness) {
     h.bench("span_disabled", || black_box(span!("bench.overhead.span_off")));
     rlckit_trace::set_enabled(true);
     h.bench("span_enabled", || black_box(span!("bench.overhead.span_on")));
+
+    // Flight-recorder rungs: disabled is the claim that matters (one
+    // relaxed load — the tier-1 `trace_overhead` guard pins it);
+    // enabled is one clock read plus four relaxed stores into the
+    // thread's ring.
+    rlckit_trace::set_enabled(false);
+    let mut id = 0u64;
+    h.bench("event_record_disabled", move || {
+        id = id.wrapping_add(1);
+        event!(id, "bench.overhead.event_off", EventKind::Solve, 1);
+        black_box(id)
+    });
+    rlckit_trace::set_enabled(true);
+    let mut id = 0u64;
+    h.bench("event_record_enabled", move || {
+        id = id.wrapping_add(1);
+        event!(id, "bench.overhead.event_on", EventKind::Solve, 1);
+        black_box(id)
+    });
     rlckit_trace::set_enabled(false);
 }
 

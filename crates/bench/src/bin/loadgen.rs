@@ -15,8 +15,9 @@
 //! In bench mode the mix is replayed through an in-process
 //! [`rlckit_serve::Server`] and the result is the `results/
 //! BENCH_serve.json` baseline: replay time plus derived
-//! queries-per-second, hit rate, and p95 `log₂(ns)` latency bucket —
-//! the numbers the tier-1 perf guard checks. With `--emit=N` the mix
+//! queries-per-second, hit rate, and the interpolated p95 end-to-end
+//! latency (both as a `log₂(ns)` position and in ns) — the numbers the
+//! tier-1 perf guard checks. With `--emit=N` the mix
 //! (plus a trailing `stats` barrier) is printed to stdout instead, for
 //! the tier-1 smoke that pipes the same seeded mix through the daemon
 //! binary twice and `cmp`s the responses byte for byte.
@@ -144,8 +145,12 @@ fn main() {
         |delta| {
             let mut extras = Vec::new();
             if let Some(hist) = delta.histograms.get("serve.latency_log2_ns") {
-                if let Some(p95) = rlckit_serve::engine::p95_bucket(hist) {
-                    extras.push(("p95_latency_log2_ns".to_string(), p95 as f64));
+                if let Some(p95) = hist.percentile(0.95) {
+                    // Interpolated log₂ position — kept one release for
+                    // comparison against the old bucket-index column.
+                    extras.push(("p95_latency_log2_ns".to_string(), p95));
+                    // The headline number: the same p95 back in ns.
+                    extras.push(("p95_latency_ns".to_string(), 2f64.powf(p95).round()));
                 }
             }
             extras

@@ -1,0 +1,95 @@
+//! `rlckit-traceview`: offline analyzer for flight-recorder captures.
+//!
+//! ```text
+//! rlckit-traceview EVENTS.jsonl [--compare OLD.jsonl] [--threshold PCT]
+//! ```
+//!
+//! Reads the event JSONL a serve run drained (`rlckit-serve
+//! --trace-events PATH`, or any file containing
+//! [`rlckit_trace::events`] lines) and prints the per-phase latency
+//! breakdown (parse / queue / solve / write / total) plus the
+//! slowest-requests table.
+//!
+//! With `--compare OLD.jsonl` it additionally diffs the capture against
+//! a baseline capture and **exits 2** if any phase's median latency
+//! grew by more than `--threshold` percent (default 25) — the CI
+//! regression gate. Exit 1 is reserved for usage and I/O errors, so a
+//! gate script can tell "regressed" from "broken".
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use rlckit_bench::traceview::{compare, parse_events, render_report, Event};
+
+/// Default `--threshold` in percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+fn usage() -> &'static str {
+    "usage: rlckit-traceview EVENTS.jsonl [--compare OLD.jsonl] [--threshold PCT]"
+}
+
+fn load(path: &str) -> Result<(Vec<Event>, u64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(parse_events(&text))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut capture: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline = Some(it.next().ok_or("--compare needs a path")?);
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if capture.is_none() && !other.starts_with('-') => {
+                capture = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    let capture = capture.ok_or_else(|| usage().to_string())?;
+    let (events, dropped) = load(&capture)?;
+    if events.is_empty() {
+        return Err(format!("{capture}: no flight-recorder events found"));
+    }
+    print!("{}", render_report(&events, dropped));
+
+    if let Some(baseline) = baseline {
+        let (old, _) = load(&baseline)?;
+        let regressions = compare(&old, &events, threshold);
+        if regressions.is_empty() {
+            println!("\ncompare vs {baseline}: no phase regressed past {threshold}%");
+        } else {
+            println!("\ncompare vs {baseline}: REGRESSED (threshold {threshold}%)");
+            for r in &regressions {
+                println!(
+                    "  {}: p50 {} ns -> {} ns (+{:.1}%)",
+                    r.phase, r.old_p50_ns, r.new_p50_ns, r.growth_pct
+                );
+            }
+            return Ok(ExitCode::from(2));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("rlckit-traceview: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

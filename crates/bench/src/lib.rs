@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod timer;
+pub mod traceview;
 pub mod variation;
 
 use std::fs;

@@ -1,0 +1,408 @@
+//! Offline analysis of flight-recorder event streams
+//! (`rlckit-traceview`'s engine).
+//!
+//! The serve daemon's `--trace-events PATH` drains the per-request
+//! span trees of [`rlckit_trace::events`] to a JSONL file; this module
+//! reads that file back and answers the questions an operator actually
+//! asks of it:
+//!
+//! * **Where does the time go?** Each request's events carry the same
+//!   `trace_id`, and the pipeline stages have a fixed causal order
+//!   (`parse → route → dequeue → probe → solve → write`), so adjacent
+//!   `t_ns` differences are per-phase latencies: *parse* (parse→route),
+//!   *queue* (route→dequeue, the time spent waiting in the shard's
+//!   bounded queue), *solve* (dequeue→solve, memo probe included) and
+//!   *write* (solve→write, reorder-buffer wait included).
+//! * **Which requests were slow?** A per-trace total (parse→write)
+//!   ranks the worst offenders.
+//! * **Did a change make it worse?** [`compare`] diffs two captures
+//!   phase by phase and reports every phase whose median regressed past
+//!   a threshold — the CI regression gate behind
+//!   `rlckit-traceview --compare`.
+//!
+//! Only `"type":"event"` lines are consumed; metrics-snapshot lines
+//! (from the `jsonl`/`jsonl+:` sinks) and the `events_dropped` footer
+//! are skipped, so one combined capture file works too. Parsing is the
+//! same zero-dependency field scanning the serve protocol uses.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One flight-recorder event, as read back from JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The request's flight-recorder id.
+    pub trace_id: u64,
+    /// Call-site scope name (e.g. `serve.parse`).
+    pub scope: String,
+    /// Pipeline stage label (e.g. `parse`, `dequeue`).
+    pub kind: String,
+    /// Stage payload (op code, shard, hit flag, bytes, ...).
+    pub value: u64,
+    /// Wall-clock nanoseconds since the recording process's epoch.
+    pub t_ns: u64,
+}
+
+/// The pipeline phases a span tree decomposes into, in causal order:
+/// `(phase name, from kind, to kind)`.
+pub const PHASES: [(&str, &str, &str); 5] = [
+    ("parse", "parse", "route"),
+    ("queue", "route", "dequeue"),
+    ("solve", "dequeue", "solve"),
+    ("write", "solve", "write"),
+    ("total", "parse", "write"),
+];
+
+/// Latency statistics of one pipeline phase over a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase name (one of the [`PHASES`] names).
+    pub name: &'static str,
+    /// Traces that contributed a sample (had both endpoint events).
+    pub count: usize,
+    /// Mean latency in ns.
+    pub mean_ns: f64,
+    /// Median (nearest-rank p50) latency in ns.
+    pub p50_ns: u64,
+    /// Nearest-rank p95 latency in ns.
+    pub p95_ns: u64,
+    /// Worst sample in ns.
+    pub max_ns: u64,
+}
+
+/// One phase whose median regressed between two captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The regressed phase.
+    pub phase: &'static str,
+    /// Baseline median ns.
+    pub old_p50_ns: u64,
+    /// Current median ns.
+    pub new_p50_ns: u64,
+    /// Relative growth in percent (`100 * (new - old) / old`).
+    pub growth_pct: f64,
+}
+
+/// Extracts `"key":<digits>` from a JSON line (first occurrence).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":"value"` from a JSON line (first occurrence; event
+/// scope/kind names never contain escapes).
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses every `"type":"event"` line of a capture; all other lines
+/// (metrics snapshots, flush markers, the dropped-events footer) are
+/// skipped. Returns the events plus the total dropped count, if the
+/// capture recorded one.
+#[must_use]
+pub fn parse_events(text: &str) -> (Vec<Event>, u64) {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for line in text.lines() {
+        if line.contains("\"type\":\"events_dropped\"") {
+            dropped += field_u64(line, "value").unwrap_or(0);
+            continue;
+        }
+        if !line.contains("\"type\":\"event\"") {
+            continue;
+        }
+        let parsed = (|| {
+            Some(Event {
+                trace_id: field_u64(line, "trace_id")?,
+                scope: field_str(line, "scope")?.to_string(),
+                kind: field_str(line, "kind")?.to_string(),
+                value: field_u64(line, "value")?,
+                t_ns: field_u64(line, "t_ns")?,
+            })
+        })();
+        if let Some(event) = parsed {
+            events.push(event);
+        }
+    }
+    (events, dropped)
+}
+
+/// Groups a capture by trace, keeping each trace's **first** timestamp
+/// per kind (a trace records each pipeline kind at most once; first
+/// wins if a damaged capture repeats one).
+#[must_use]
+pub fn kind_times(events: &[Event]) -> BTreeMap<u64, BTreeMap<String, u64>> {
+    let mut by_trace: BTreeMap<u64, BTreeMap<String, u64>> = BTreeMap::new();
+    for e in events {
+        by_trace
+            .entry(e.trace_id)
+            .or_default()
+            .entry(e.kind.clone())
+            .or_insert(e.t_ns);
+    }
+    by_trace
+}
+
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-phase latency samples of a capture: for each [`PHASES`] entry,
+/// the `to − from` timestamp difference of every trace that has both
+/// endpoints (in trace-id order). Phases with a negative difference
+/// (impossible in a healthy capture) are dropped rather than wrapped.
+#[must_use]
+pub fn phase_samples(events: &[Event]) -> BTreeMap<&'static str, Vec<u64>> {
+    let by_trace = kind_times(events);
+    let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for (phase, from, to) in PHASES {
+        let entry = samples.entry(phase).or_default();
+        for times in by_trace.values() {
+            if let (Some(&a), Some(&b)) = (times.get(from), times.get(to)) {
+                if b >= a {
+                    entry.push(b - a);
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// The per-phase latency breakdown of a capture, in [`PHASES`] order.
+/// Phases with no samples (e.g. a capture of outcome events only) are
+/// omitted.
+#[must_use]
+pub fn phase_breakdown(events: &[Event]) -> Vec<PhaseStats> {
+    let samples = phase_samples(events);
+    PHASES
+        .iter()
+        .filter_map(|&(phase, _, _)| {
+            let mut s = samples.get(phase)?.clone();
+            if s.is_empty() {
+                return None;
+            }
+            s.sort_unstable();
+            let sum: u64 = s.iter().sum();
+            Some(PhaseStats {
+                name: phase,
+                count: s.len(),
+                mean_ns: sum as f64 / s.len() as f64,
+                p50_ns: nearest_rank(&s, 0.50),
+                p95_ns: nearest_rank(&s, 0.95),
+                max_ns: *s.last().unwrap_or(&0),
+            })
+        })
+        .collect()
+}
+
+/// The `n` slowest traces by total (parse→write) latency, worst first,
+/// ties broken toward the earlier trace id.
+#[must_use]
+pub fn slowest(events: &[Event], n: usize) -> Vec<(u64, u64)> {
+    let by_trace = kind_times(events);
+    let mut totals: Vec<(u64, u64)> = by_trace
+        .iter()
+        .filter_map(|(&trace_id, times)| {
+            let (a, b) = (times.get("parse")?, times.get("write")?);
+            b.checked_sub(*a).map(|total| (trace_id, total))
+        })
+        .collect();
+    totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    totals.truncate(n);
+    totals
+}
+
+/// Diffs two captures phase by phase: every phase present in both whose
+/// median grew by more than `threshold_pct` percent is reported.
+/// Sub-microsecond baseline medians are compared with a 1 µs floor so
+/// scheduling noise on near-zero phases does not trip the gate.
+#[must_use]
+pub fn compare(old: &[Event], new: &[Event], threshold_pct: f64) -> Vec<Regression> {
+    let old_stats: BTreeMap<&str, u64> = phase_breakdown(old)
+        .into_iter()
+        .map(|s| (s.name, s.p50_ns))
+        .collect();
+    phase_breakdown(new)
+        .into_iter()
+        .filter_map(|s| {
+            let &old_p50 = old_stats.get(s.name)?;
+            let floor = old_p50.max(1_000);
+            let growth_pct = 100.0 * (s.p50_ns as f64 - old_p50 as f64) / floor as f64;
+            (growth_pct > threshold_pct).then_some(Regression {
+                phase: s.name,
+                old_p50_ns: old_p50,
+                new_p50_ns: s.p50_ns,
+                growth_pct,
+            })
+        })
+        .collect()
+}
+
+/// Renders the phase breakdown and slowest-requests tables as the
+/// aligned text report `rlckit-traceview` prints.
+#[must_use]
+pub fn render_report(events: &[Event], dropped: u64) -> String {
+    let mut out = String::new();
+    let traces = kind_times(events).len();
+    let _ = writeln!(out, "{} events across {traces} traces", events.len());
+    if dropped > 0 {
+        let _ = writeln!(out, "WARNING: {dropped} events were dropped at capture (ring wrap)");
+    }
+    let _ = writeln!(out, "\nphase      count       mean_ns        p50_ns        p95_ns        max_ns");
+    for s in phase_breakdown(events) {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>6} {:>13.0} {:>13} {:>13} {:>13}",
+            s.name, s.count, s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+        );
+    }
+    let worst = slowest(events, 10);
+    if !worst.is_empty() {
+        let _ = writeln!(out, "\nslowest requests:");
+        let _ = writeln!(out, "trace_id      total_ns");
+        for (trace_id, total_ns) in worst {
+            let _ = writeln!(out, "{trace_id:<10} {total_ns:>13}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic healthy capture: `n` traces, each with the full
+    /// pipeline at fixed per-phase latencies (scaled by `solve_scale`
+    /// for the solve phase).
+    fn fixture(n: u64, solve_scale: u64) -> String {
+        let mut out = String::new();
+        for trace in 0..n {
+            let t0 = 1_000_000 * trace;
+            // parse 2µs, queue 5µs, solve 40µs * scale, write 3µs.
+            let steps = [
+                ("serve.parse", "parse", 0, t0),
+                ("serve.route", "route", 1, t0 + 2_000),
+                ("par.pool.dequeue", "dequeue", 1, t0 + 7_000),
+                ("serve.memo", "probe", 1, t0 + 7_500),
+                ("serve.solve", "solve", 0, t0 + 7_000 + 40_000 * solve_scale),
+                ("serve.write", "write", 90, t0 + 10_000 + 40_000 * solve_scale),
+            ];
+            for (scope, kind, value, t_ns) in steps {
+                out.push_str(&format!(
+                    "{{\"type\":\"event\",\"trace_id\":{trace},\"scope\":\"{scope}\",\
+                     \"kind\":\"{kind}\",\"value\":{value},\"t_ns\":{t_ns}}}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_events_and_skips_foreign_lines() {
+        let text = format!(
+            "{{\"type\":\"metrics\",\"seq\":1}}\n{}{{\"type\":\"events_dropped\",\"value\":7}}\n",
+            fixture(2, 1)
+        );
+        let (events, dropped) = parse_events(&text);
+        assert_eq!(events.len(), 12);
+        assert_eq!(dropped, 7);
+        assert_eq!(events[0].scope, "serve.parse");
+        assert_eq!(events[0].kind, "parse");
+        assert_eq!(events[5].value, 90);
+    }
+
+    #[test]
+    fn phase_breakdown_recovers_the_injected_latencies() {
+        let (events, _) = parse_events(&fixture(8, 1));
+        let stats = phase_breakdown(&events);
+        let by_name: BTreeMap<&str, &PhaseStats> =
+            stats.iter().map(|s| (s.name, s)).collect();
+        assert_eq!(by_name["parse"].p50_ns, 2_000);
+        assert_eq!(by_name["queue"].p50_ns, 5_000);
+        assert_eq!(by_name["solve"].p50_ns, 40_000);
+        assert_eq!(by_name["write"].p50_ns, 3_000);
+        assert_eq!(by_name["total"].p50_ns, 50_000);
+        assert_eq!(by_name["total"].count, 8);
+        assert_eq!(by_name["solve"].max_ns, 40_000);
+    }
+
+    #[test]
+    fn slowest_ranks_by_total_latency() {
+        // Mix two populations: traces 0..4 fast, 4..6 slow (10× solve).
+        let mut text = fixture(4, 1);
+        let slow = fixture(2, 10).replace("\"trace_id\":0", "\"trace_id\":4").replace(
+            "\"trace_id\":1",
+            "\"trace_id\":5",
+        );
+        text.push_str(&slow);
+        let (events, _) = parse_events(&text);
+        let worst = slowest(&events, 3);
+        assert_eq!(worst.len(), 3);
+        assert_eq!(worst[0], (4, 410_000));
+        assert_eq!(worst[1], (5, 410_000));
+        assert!(worst[2].1 < 410_000, "{worst:?}");
+    }
+
+    #[test]
+    fn compare_flags_an_injected_solve_slowdown() {
+        // The acceptance fixture: same pipeline, solve 10× slower.
+        let (old, _) = parse_events(&fixture(8, 1));
+        let (new, _) = parse_events(&fixture(8, 10));
+        let regressions = compare(&old, &new, 25.0);
+        let phases: Vec<&str> = regressions.iter().map(|r| r.phase).collect();
+        assert!(phases.contains(&"solve"), "{regressions:?}");
+        assert!(phases.contains(&"total"), "{regressions:?}");
+        assert!(!phases.contains(&"parse"), "{regressions:?}");
+        let solve = regressions.iter().find(|r| r.phase == "solve").unwrap();
+        assert_eq!(solve.old_p50_ns, 40_000);
+        assert_eq!(solve.new_p50_ns, 400_000);
+        assert!((solve.growth_pct - 900.0).abs() < 1.0, "{solve:?}");
+    }
+
+    #[test]
+    fn compare_of_identical_captures_is_clean() {
+        let (events, _) = parse_events(&fixture(8, 1));
+        assert!(compare(&events, &events, 25.0).is_empty());
+        // Sub-threshold drift is also clean.
+        let (slightly, _) = parse_events(&fixture(8, 1));
+        assert!(compare(&events, &slightly, 0.5).is_empty());
+    }
+
+    #[test]
+    fn report_renders_counts_and_warns_on_drops() {
+        let (events, dropped) =
+            parse_events(&format!("{}{{\"type\":\"events_dropped\",\"value\":3}}\n", fixture(2, 1)));
+        let report = render_report(&events, dropped);
+        assert!(report.contains("12 events across 2 traces"), "{report}");
+        assert!(report.contains("WARNING: 3 events were dropped"), "{report}");
+        assert!(report.contains("slowest requests:"), "{report}");
+        for phase in ["parse", "queue", "solve", "write", "total"] {
+            assert!(report.contains(phase), "{phase} missing:\n{report}");
+        }
+    }
+
+    #[test]
+    fn partial_traces_contribute_only_their_phases() {
+        // A trace with no write event (in flight at drain time).
+        let text = "{\"type\":\"event\",\"trace_id\":9,\"scope\":\"serve.parse\",\
+                    \"kind\":\"parse\",\"value\":0,\"t_ns\":100}\n\
+                    {\"type\":\"event\",\"trace_id\":9,\"scope\":\"serve.route\",\
+                    \"kind\":\"route\",\"value\":2,\"t_ns\":600}\n";
+        let (events, _) = parse_events(text);
+        let stats = phase_breakdown(&events);
+        assert_eq!(stats.len(), 1, "{stats:?}");
+        assert_eq!(stats[0].name, "parse");
+        assert_eq!(stats[0].p50_ns, 500);
+        assert!(slowest(&events, 5).is_empty());
+    }
+}

@@ -8,7 +8,8 @@
 //! ([`run_point`]).
 
 use rlckit_numeric::{NumericError, Result};
-use rlckit_trace::counter;
+use rlckit_trace::events::EventKind;
+use rlckit_trace::{counter, event};
 
 use crate::optimizer::RetryPolicy;
 
@@ -117,12 +118,19 @@ impl<T> Solved<T> {
 /// faults that strike outside the inner solver's own ladder (e.g. in a
 /// post-processing delay solve). Everything else is recorded as a
 /// [`PointOutcome::Failed`] rather than propagated.
+///
+/// Each point also lands in the flight recorder: one
+/// [`EventKind::Outcome`] event with `trace_id = scope` (the point's
+/// stable grid identity), the variant encoded in the event scope
+/// (`campaign.converged` / `campaign.retried` / `campaign.degraded` /
+/// `campaign.failed`) and `value = attempts` — all deterministic, so a
+/// campaign's event stream reconstructs per-point retry history.
 pub fn run_point<T>(
     scope: u64,
     policy: &RetryPolicy,
     f: impl Fn() -> Result<Solved<T>>,
 ) -> PointOutcome<T> {
-    rlckit_fault::with_scope(scope, || {
+    let outcome = rlckit_fault::with_scope(scope, || {
         let mut point_retries = 0u32;
         loop {
             match f() {
@@ -158,7 +166,22 @@ pub fn run_point<T>(
                 }
             }
         }
-    })
+    });
+    match &outcome {
+        PointOutcome::Converged(_) => {
+            event!(scope, "campaign.converged", EventKind::Outcome, 0);
+        }
+        PointOutcome::Retried { attempts, .. } => {
+            event!(scope, "campaign.retried", EventKind::Outcome, u64::from(*attempts));
+        }
+        PointOutcome::Degraded { attempts, .. } => {
+            event!(scope, "campaign.degraded", EventKind::Outcome, u64::from(*attempts));
+        }
+        PointOutcome::Failed { attempts, .. } => {
+            event!(scope, "campaign.failed", EventKind::Outcome, u64::from(*attempts));
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -248,6 +271,39 @@ mod tests {
                 assert!(error.is_injected());
             }
             other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_point_lands_outcome_events_in_the_flight_recorder() {
+        rlckit_trace::set_enabled(true);
+        // Unique scope ids so the filter is immune to sibling tests.
+        let base = 0xEE00u64;
+        let _ = run_point(base, &RetryPolicy::default(), || Ok(Solved::converged(1)));
+        let _ = run_point(base + 1, &RetryPolicy::default(), || {
+            Ok(Solved {
+                value: 2,
+                restarts: 3,
+                degraded: false,
+            })
+        });
+        let _ = run_point::<i32>(base + 2, &RetryPolicy::default(), || {
+            Err(NumericError::InvalidInput("domain".into()))
+        });
+        let events: Vec<_> = rlckit_trace::events::collect()
+            .events
+            .into_iter()
+            .filter(|e| (base..base + 3).contains(&e.trace_id))
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].scope, "campaign.converged");
+        assert_eq!(events[0].value, 0);
+        assert_eq!(events[1].scope, "campaign.retried");
+        assert_eq!(events[1].value, 3);
+        assert_eq!(events[2].scope, "campaign.failed");
+        assert_eq!(events[2].value, 0);
+        for e in &events {
+            assert_eq!(e.kind, EventKind::Outcome);
         }
     }
 

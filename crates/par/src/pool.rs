@@ -35,6 +35,14 @@
 //! observed at each submission — the live "how far behind is the
 //! daemon" signal. Like the rest of the `par.*` family these record
 //! scheduling, not algorithmic, quantities.
+//!
+//! Requests submitted through [`ShardedPool::submit_traced`]
+//! additionally carry a flight-recorder `trace_id`: the worker records
+//! a `par.pool.dequeue` event (kind [`EventKind::Dequeue`], value =
+//! shard index) the moment it picks the request up. Because workers
+//! are pinned to shards, the shard index *is* the worker attribution,
+//! and it is deterministic (key-hash routing), unlike the queue-depth
+//! scheduling metrics above.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,13 +51,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use rlckit_numeric::{NumericError, Result};
-use rlckit_trace::{counter, histogram};
+use rlckit_trace::events::EventKind;
+use rlckit_trace::{counter, event, histogram};
 
 /// A fixed set of worker threads, each owning one bounded FIFO queue.
 /// See the module docs for the ordering, backpressure and panic
 /// contracts.
 pub struct ShardedPool<Req: Send + 'static> {
-    senders: Vec<SyncSender<Req>>,
+    senders: Vec<SyncSender<(Option<u64>, Req)>>,
     depths: Arc<Vec<AtomicUsize>>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -72,12 +81,15 @@ impl<Req: Send + 'static> ShardedPool<Req> {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
-            let (tx, rx) = sync_channel::<Req>(queue_depth);
+            let (tx, rx) = sync_channel::<(Option<u64>, Req)>(queue_depth);
             let handler = Arc::clone(&handler);
             let depths = Arc::clone(&depths);
             handles.push(std::thread::spawn(move || {
-                while let Ok(req) = rx.recv() {
+                while let Ok((trace_id, req)) = rx.recv() {
                     depths[shard].fetch_sub(1, Ordering::Relaxed);
+                    if let Some(id) = trace_id {
+                        event!(id, "par.pool.dequeue", EventKind::Dequeue, shard as u64);
+                    }
                     if catch_unwind(AssertUnwindSafe(|| handler(shard, req))).is_err() {
                         counter!("par.pool.panics").incr();
                     }
@@ -106,6 +118,23 @@ impl<Req: Send + 'static> ShardedPool<Req> {
     /// [`NumericError::InvalidInput`] if the shard's worker is gone —
     /// possible only after the pool has started tearing down.
     pub fn submit(&self, shard: usize, req: Req) -> Result<()> {
+        self.submit_inner(shard, None, req)
+    }
+
+    /// Like [`ShardedPool::submit`], but tags the request with a
+    /// flight-recorder `trace_id`: the shard's worker records a
+    /// `par.pool.dequeue` event (value = shard index — worker
+    /// attribution, since workers are pinned) when it picks the
+    /// request up.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedPool::submit`].
+    pub fn submit_traced(&self, shard: usize, trace_id: u64, req: Req) -> Result<()> {
+        self.submit_inner(shard, Some(trace_id), req)
+    }
+
+    fn submit_inner(&self, shard: usize, trace_id: Option<u64>, req: Req) -> Result<()> {
         let shard = shard % self.senders.len();
         counter!("par.pool.submitted").incr();
         let depth = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
@@ -114,7 +143,7 @@ impl<Req: Send + 'static> ShardedPool<Req> {
             depths[shard].fetch_sub(1, Ordering::Relaxed);
             NumericError::InvalidInput(format!("pool shard {shard} worker is gone"))
         };
-        match self.senders[shard].try_send(req) {
+        match self.senders[shard].try_send((trace_id, req)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(req)) => {
                 counter!("par.pool.backpressure").incr();
@@ -174,6 +203,28 @@ mod tests {
         }
         pool.join();
         assert_eq!(*seen.lock().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_submissions_record_worker_attributed_dequeue_events() {
+        rlckit_trace::set_enabled(true);
+        let pool = ShardedPool::new(2, 8, move |_, _req: usize| {});
+        for i in 0..6u64 {
+            pool.submit_traced(i as usize % 2, 9000 + i, i as usize).unwrap();
+        }
+        // Untraced submissions must not fabricate events.
+        pool.submit(0, 99).unwrap();
+        pool.join();
+        let events: Vec<_> = rlckit_trace::events::collect()
+            .events
+            .into_iter()
+            .filter(|e| e.scope == "par.pool.dequeue" && (9000..9006).contains(&e.trace_id))
+            .collect();
+        assert_eq!(events.len(), 6);
+        for e in &events {
+            assert_eq!(e.kind, EventKind::Dequeue);
+            assert_eq!(e.value, e.trace_id % 2, "value must be the owning shard");
+        }
     }
 
     #[test]

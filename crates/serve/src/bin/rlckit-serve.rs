@@ -5,6 +5,7 @@
 //! rlckit-serve [--stdin | --tcp ADDR]
 //!              [--workers N] [--queue-depth N] [--shard-capacity N]
 //!              [--warm-grid POINTS] [--snapshot PATH]
+//!              [--trace-events PATH] [--trace-flush-secs N]
 //! ```
 //!
 //! Boot order: load `--snapshot` if present and compatible, then
@@ -12,11 +13,25 @@
 //! (possibly grown) memo is saved back to `--snapshot`. Diagnostics go
 //! to stderr; stdout carries only protocol responses. Telemetry follows
 //! the usual `RLCKIT_TRACE` contract and is flushed on exit.
+//!
+//! # Observability flags
+//!
+//! `--trace-events PATH` enables the flight recorder (see
+//! [`rlckit_trace::events`]) and drains it to `PATH` as JSONL — after
+//! the stdin session ends, or after **each** TCP connection closes (the
+//! file is rewritten, so it always holds the freshest complete drain).
+//! `rlckit-traceview` reads this file. `--trace-flush-secs N` starts a
+//! background thread that calls [`rlckit_trace::flush`] every `N`
+//! seconds, so a long-lived daemon's metrics reach the `RLCKIT_TRACE`
+//! sink (use the `jsonl+:` append sink to keep every period) without
+//! waiting for exit.
 
 #![forbid(unsafe_code)]
 
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use rlckit_serve::snapshot::{self, LoadOutcome};
 use rlckit_serve::{ServeConfig, Server};
@@ -26,11 +41,14 @@ struct Args {
     config: ServeConfig,
     warm_grid: usize,
     snapshot: Option<std::path::PathBuf>,
+    trace_events: Option<std::path::PathBuf>,
+    trace_flush_secs: u64,
 }
 
 fn usage() -> &'static str {
     "usage: rlckit-serve [--stdin | --tcp ADDR] [--workers N] [--queue-depth N] \
-     [--shard-capacity N] [--warm-grid POINTS] [--snapshot PATH]"
+     [--shard-capacity N] [--warm-grid POINTS] [--snapshot PATH] \
+     [--trace-events PATH] [--trace-flush-secs N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         config: ServeConfig::default(),
         warm_grid: 0,
         snapshot: None,
+        trace_events: None,
+        trace_flush_secs: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,6 +89,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--warm-grid: {e}"))?;
             }
             "--snapshot" => args.snapshot = Some(value("--snapshot")?.into()),
+            "--trace-events" => args.trace_events = Some(value("--trace-events")?.into()),
+            "--trace-flush-secs" => {
+                args.trace_flush_secs = value("--trace-flush-secs")?
+                    .parse()
+                    .map_err(|e| format!("--trace-flush-secs: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -108,6 +134,49 @@ fn boot(args: &Args) -> std::io::Result<Server> {
     Ok(server)
 }
 
+/// Drains the flight recorder to `path`, logging the count to stderr.
+fn drain_events(path: &std::path::Path) {
+    match rlckit_trace::events::write_jsonl(path) {
+        Ok(count) => {
+            eprintln!("rlckit-serve: drained {count} events to {}", path.display());
+        }
+        Err(e) => eprintln!("rlckit-serve: event drain to {} failed: {e}", path.display()),
+    }
+}
+
+/// A periodic metrics flusher: ticks every `secs` until the returned
+/// stop handle is dropped, then flushes one final time on the way out.
+struct Flusher {
+    stop: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    fn start(secs: u64) -> Self {
+        let (stop, tick) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            while let Err(mpsc::RecvTimeoutError::Timeout) =
+                tick.recv_timeout(Duration::from_secs(secs))
+            {
+                rlckit_trace::flush();
+            }
+        });
+        Self {
+            stop: Some(stop),
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        drop(self.stop.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 fn run() -> std::io::Result<ExitCode> {
     let args = match parse_args() {
         Ok(args) => args,
@@ -116,6 +185,12 @@ fn run() -> std::io::Result<ExitCode> {
             return Ok(ExitCode::FAILURE);
         }
     };
+    if args.trace_events.is_some() {
+        // The flight recorder shares the metrics enable gate; the flag
+        // is an explicit opt-in even without RLCKIT_TRACE set.
+        rlckit_trace::set_enabled(true);
+    }
+    let _flusher = (args.trace_flush_secs > 0).then(|| Flusher::start(args.trace_flush_secs));
     let server = boot(&args)?;
 
     match &args.tcp {
@@ -128,6 +203,9 @@ fn run() -> std::io::Result<ExitCode> {
                 "rlckit-serve: served {} requests ({} hits, {} misses, {} errors)",
                 summary.requests, summary.hits, summary.misses, summary.errors
             );
+            if let Some(path) = &args.trace_events {
+                drain_events(path);
+            }
         }
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)?;
@@ -144,6 +222,9 @@ fn run() -> std::io::Result<ExitCode> {
                         summary.requests, summary.hits
                     ),
                     Err(e) => eprintln!("rlckit-serve: connection {peer}: {e}"),
+                }
+                if let Some(path) = &args.trace_events {
+                    drain_events(path);
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! ```text
 //! reader ──► router ──► ShardedPool (worker i owns memo shard i) ──► writer
 //!              │                                                      ▲
-//!              └── parse errors / stats barriers ─────────────────────┘
+//!              └── parse errors / stats barriers / trace snapshots ───┘
 //! ```
 //!
 //! One router thread (the caller of [`Server::serve`]) reads requests
@@ -20,41 +20,78 @@
 //!   lock is contended across shards.
 //! * Responses are emitted strictly in request order regardless of
 //!   which worker finished first, so two runs over the same input
-//!   produce byte-identical output (the tier-1 serve smoke `cmp`s
-//!   exactly this).
+//!   produce byte-identical output once the `*_ns` wall-clock fields
+//!   are stripped (the tier-1 serve smoke `cmp`s exactly this).
 //! * A `stats` request is a **pipeline barrier**: the router stalls
 //!   intake until every earlier response has been written, then answers
 //!   from quiescent counters — so stats are a pure function of the
 //!   request prefix, not of scheduling.
+//! * A `trace` request is the deliberate exception: a *live*
+//!   observability snapshot the router answers without a barrier, so
+//!   its in-flight count and slowest ranking reflect scheduling and sit
+//!   outside the byte-identity contract.
 //!
-//! # Telemetry
+//! # Observability
+//!
+//! Every request line is assigned a process-monotonic `trace_id` and
+//! leaves a span tree in the flight recorder
+//! ([`rlckit_trace::events`]):
+//!
+//! | event scope | kind | thread | value |
+//! |---|---|---|---|
+//! | `serve.parse` | `Parse` | router | [`Op::code`], or 5 on a parse error |
+//! | `serve.route` | `Route` | router | shard index |
+//! | `par.pool.dequeue` | `Dequeue` | worker | shard index (= worker) |
+//! | `serve.memo` | `Probe` | worker | 1 = hit, 0 = miss |
+//! | `serve.solve` | `Solve` | worker | 0 = served, 1 = solve error, 2 = panic |
+//! | `serve.write` | `Write` | writer | response bytes (query requests only) |
+//!
+//! Everything but each event's `t_ns` is deterministic, so two seeded
+//! runs drain byte-identical event streams after stripping `t_ns`.
 //!
 //! `serve.requests` / `serve.parse_errors` / `serve.solve_errors`
 //! count intake and failures; `serve.latency_log2_ns` is a log₂-bucketed
-//! wall-clock latency histogram (recorded only while tracing is
-//! enabled, keeping the disabled path clock-free; the `_ns` suffix
-//! marks it non-deterministic per the trace contract — p95 comes from
-//! [`p95_bucket`]). Queue depth is `par.pool.queue_depth` from the
-//! pool, and hit rate is `memo.hits` / `memo.misses` from the memo.
+//! **end-to-end** (parse-to-write) latency histogram for query
+//! requests, recorded only while tracing is enabled so the disabled
+//! path stays clock-free. Percentiles come from
+//! [`HistogramSnapshot::percentile`] via [`log2_percentile_ns`]. Queue
+//! depth is `par.pool.queue_depth` from the pool, and hit rate is
+//! `memo.hits` / `memo.misses` from the memo.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 use rlckit::memo::{key_for, OptimumMemo, Served, DEFAULT_CAPACITY};
 use rlckit::optimizer::optimize_rlc;
 use rlckit_par::ShardedPool;
 use rlckit_tech::TechNode;
 use rlckit_tline::LineRlc;
-use rlckit_trace::{counter, histogram, HistogramSnapshot};
+use rlckit_trace::events::EventKind;
+use rlckit_trace::{counter, event, histogram, HistogramSnapshot};
 use rlckit_units::HenriesPerMeter;
 
 use crate::protocol::{
     parse_request, request_id_of, response_error, response_lcrit, response_optimum,
-    response_route_delay, response_stats, Op, Query, Request, StatsView,
+    response_route_delay, response_stats, response_trace, Op, Query, Request, SlowRequest,
+    StatsView, TraceOpView,
 };
+
+/// The `serve.parse` event value for lines that failed to parse (the
+/// real ops use [`Op::code`], 0–4).
+pub const PARSE_ERROR_CODE: u64 = 5;
+
+/// Slowest requests the live slow log retains (the `trace` response's
+/// table size).
+pub const SLOW_LOG_CAPACITY: usize = 8;
+
+/// Allocates request trace ids, monotonic across the whole process so
+/// ids stay unique when one process serves several sessions (TCP
+/// connections, bench replays).
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Sizing knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +129,23 @@ pub struct ServeSummary {
     pub errors: u64,
 }
 
+/// The server-lifetime log of the slowest requests, worst first, ties
+/// broken toward the earlier trace id. Maintained by the writer thread
+/// (only while tracing is enabled), read by the router's `trace` op.
+#[derive(Debug, Default)]
+struct SlowLog {
+    entries: Vec<SlowRequest>,
+}
+
+impl SlowLog {
+    fn record(&mut self, trace_id: u64, total_ns: u64) {
+        self.entries.push(SlowRequest { trace_id, total_ns });
+        self.entries
+            .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.trace_id.cmp(&b.trace_id)));
+        self.entries.truncate(SLOW_LOG_CAPACITY);
+    }
+}
+
 /// The paper's standard inductance sweep: `points` values spanning
 /// 0–4.95 nH/mm, matching the campaign grid so warm-started entries
 /// cover the asks a figure-replay workload makes.
@@ -110,6 +164,8 @@ pub fn standard_grid(points: usize) -> Vec<f64> {
 pub struct Server {
     memo: Arc<OptimumMemo>,
     config: ServeConfig,
+    started: Instant,
+    slow: Mutex<SlowLog>,
 }
 
 impl Server {
@@ -119,6 +175,8 @@ impl Server {
         Self {
             memo: Arc::new(OptimumMemo::sharded(config.workers.max(1), config.shard_capacity)),
             config,
+            started: Instant::now(),
+            slow: Mutex::new(SlowLog::default()),
         }
     }
 
@@ -126,6 +184,12 @@ impl Server {
     #[must_use]
     pub fn memo(&self) -> &Arc<OptimumMemo> {
         &self.memo
+    }
+
+    /// Nanoseconds since this server was created.
+    #[must_use]
+    pub fn uptime_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Pre-solves the default-threshold optimum for every Table 1 node
@@ -187,20 +251,47 @@ impl Server {
         let hits = Arc::new(AtomicU64::new(0));
         let misses = Arc::new(AtomicU64::new(0));
         let solve_errors = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = mpsc::channel::<(u64, String)>();
+        // (seq, trace_id, query started-at, response text)
+        let (tx, rx) = mpsc::channel::<(u64, u64, Option<Instant>, String)>();
 
         std::thread::scope(|scope| {
             let writer_handle = {
                 let written = Arc::clone(&written);
+                let slow = &self.slow;
                 scope.spawn(move || -> std::io::Result<()> {
                     let mut writer = writer;
-                    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+                    let mut pending: BTreeMap<u64, (u64, Option<Instant>, String)> =
+                        BTreeMap::new();
                     let mut next = 0u64;
-                    while let Ok((seq, text)) = rx.recv() {
-                        pending.insert(seq, text);
-                        while let Some(text) = pending.remove(&next) {
+                    while let Ok((seq, trace_id, t0, text)) = rx.recv() {
+                        pending.insert(seq, (trace_id, t0, text));
+                        while let Some((trace_id, t0, text)) = pending.remove(&next) {
                             writeln!(writer, "{text}")?;
                             writer.flush()?;
+                            // Query requests only (`t0` is set iff the
+                            // request was a query with tracing live):
+                            // their response bytes are deterministic,
+                            // keeping the drained event stream
+                            // byte-identical across seeded runs. The
+                            // router-answered ops' responses embed
+                            // wall-clock digits, so a Write event for
+                            // them would leak `*_ns` entropy into the
+                            // `value` field.
+                            if let Some(t0) = t0 {
+                                event!(
+                                    trace_id,
+                                    "serve.write",
+                                    EventKind::Write,
+                                    text.len() as u64
+                                );
+                                let ns = u64::try_from(t0.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX - 1);
+                                histogram!("serve.latency_log2_ns")
+                                    .observe(u64::from((ns + 1).ilog2()));
+                                slow.lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .record(trace_id, ns);
+                            }
                             next += 1;
                             written.store(next, Ordering::SeqCst);
                         }
@@ -218,23 +309,18 @@ impl Server {
                 ShardedPool::new(
                     self.config.workers,
                     self.config.queue_depth,
-                    move |_shard, (seq, query): (u64, Box<Query>)| {
-                        let started = rlckit_trace::enabled().then(std::time::Instant::now);
+                    move |_shard, (seq, trace_id, t0, query): (u64, u64, Option<Instant>, Box<Query>)| {
                         let response = catch_unwind(AssertUnwindSafe(|| {
-                            answer(&memo, &query, &hits, &misses, &solve_errors)
+                            answer(&memo, trace_id, &query, &hits, &misses, &solve_errors)
                         }))
                         .unwrap_or_else(|_| {
+                            event!(trace_id, "serve.solve", EventKind::Solve, 2);
                             response_error(Some(query.id), "internal error: solver panicked")
                         });
-                        if let Some(t0) = started {
-                            let ns =
-                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX - 1);
-                            histogram!("serve.latency_log2_ns").observe(u64::from((ns + 1).ilog2()));
-                        }
                         let _ = worker_tx
                             .lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .send((seq, response));
+                            .send((seq, trace_id, t0, response));
                     },
                 )
             };
@@ -248,38 +334,82 @@ impl Server {
                         continue;
                     }
                     counter!("serve.requests").incr();
+                    let trace_id = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let t0 = rlckit_trace::enabled().then(Instant::now);
                     match parse_request(&line) {
                         Ok(Request::Query(query)) => {
+                            event!(trace_id, "serve.parse", EventKind::Parse, query.op.code());
                             let key = key_for(&query.line, &query.driver, query.options);
                             let shard = self.memo.shard_of(&key);
-                            if pool.submit(shard, (seq, query)).is_err() {
+                            event!(trace_id, "serve.route", EventKind::Route, shard as u64);
+                            if pool
+                                .submit_traced(shard, trace_id, (seq, trace_id, t0, query))
+                                .is_err()
+                            {
                                 // Possible only mid-teardown; answer inline.
-                                let _ = tx.send((seq, response_error(None, "pool shut down")));
+                                let _ = tx.send((
+                                    seq,
+                                    trace_id,
+                                    None,
+                                    response_error(None, "pool shut down"),
+                                ));
                             }
                         }
                         Ok(Request::Stats { id }) => {
+                            event!(trace_id, "serve.parse", EventKind::Parse, Op::Stats.code());
                             // Barrier: every earlier response must be on
                             // the wire before the counters are read.
                             while written.load(Ordering::SeqCst) < seq {
                                 std::thread::yield_now();
                             }
-                            let evictions = rlckit_trace::snapshot()
-                                .since(&base)
-                                .counter("memo.evictions");
+                            let session = rlckit_trace::snapshot().since(&base);
+                            let latency = session.histograms.get("serve.latency_log2_ns");
                             let stats = StatsView {
                                 entries: self.memo.len(),
                                 workers: pool.workers(),
                                 hits: hits.load(Ordering::SeqCst),
                                 misses: misses.load(Ordering::SeqCst),
-                                evictions,
+                                evictions: session.counter("memo.evictions"),
+                                in_flight: seq - written.load(Ordering::SeqCst),
+                                uptime_ns: self.uptime_ns(),
+                                p50_ns: log2_percentile_ns(latency, 0.50),
+                                p95_ns: log2_percentile_ns(latency, 0.95),
+                                p99_ns: log2_percentile_ns(latency, 0.99),
                             };
-                            let _ = tx.send((seq, response_stats(id, &stats)));
+                            let _ = tx.send((seq, trace_id, None, response_stats(id, &stats)));
+                        }
+                        Ok(Request::Trace { id }) => {
+                            event!(trace_id, "serve.parse", EventKind::Parse, Op::Trace.code());
+                            // Live snapshot: no barrier, answered from
+                            // whatever is true right now.
+                            let session = rlckit_trace::snapshot().since(&base);
+                            let latency = session.histograms.get("serve.latency_log2_ns");
+                            let events = rlckit_trace::events::collect().events.len() as u64;
+                            let view = TraceOpView {
+                                requests: seq + 1,
+                                parse_errors,
+                                solve_errors: solve_errors.load(Ordering::SeqCst),
+                                in_flight: seq - written.load(Ordering::SeqCst),
+                                events,
+                                uptime_ns: self.uptime_ns(),
+                                p50_ns: log2_percentile_ns(latency, 0.50),
+                                p95_ns: log2_percentile_ns(latency, 0.95),
+                                p99_ns: log2_percentile_ns(latency, 0.99),
+                                slowest: self
+                                    .slow
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .entries
+                                    .clone(),
+                            };
+                            let _ = tx.send((seq, trace_id, None, response_trace(id, &view)));
                         }
                         Err(message) => {
+                            event!(trace_id, "serve.parse", EventKind::Parse, PARSE_ERROR_CODE);
                             counter!("serve.parse_errors").incr();
                             parse_errors += 1;
                             let id = request_id_of(&line);
-                            let _ = tx.send((seq, response_error(id, &message)));
+                            let _ = tx.send((seq, trace_id, None, response_error(id, &message)));
                         }
                     }
                     seq += 1;
@@ -307,6 +437,7 @@ impl Server {
 /// Computes the response for one validated query (worker-side).
 fn answer(
     memo: &OptimumMemo,
+    trace_id: u64,
     query: &Query,
     hits: &AtomicU64,
     misses: &AtomicU64,
@@ -318,43 +449,45 @@ fn answer(
                 Served::Hit => hits.fetch_add(1, Ordering::SeqCst),
                 Served::Solved => misses.fetch_add(1, Ordering::SeqCst),
             };
-            match query.op {
+            event!(
+                trace_id,
+                "serve.memo",
+                EventKind::Probe,
+                u64::from(served == Served::Hit)
+            );
+            let response = match query.op {
                 Op::Optimum => response_optimum(query.id, &opt, served),
                 Op::RouteDelay => {
                     let length = query.length.expect("validated by parse_request");
                     response_route_delay(query.id, length, opt.total_delay(length), served)
                 }
                 Op::Lcrit => response_lcrit(query.id, opt.critical_inductance, served),
-                // Stats never reaches a worker (the router answers it).
-                Op::Stats => response_error(Some(query.id), "stats is router-handled"),
-            }
+                // Stats and trace never reach a worker (router-handled).
+                Op::Stats | Op::Trace => {
+                    response_error(Some(query.id), "stats/trace are router-handled")
+                }
+            };
+            event!(trace_id, "serve.solve", EventKind::Solve, 0);
+            response
         }
         Err(e) => {
             counter!("serve.solve_errors").incr();
             solve_errors.fetch_add(1, Ordering::SeqCst);
+            event!(trace_id, "serve.memo", EventKind::Probe, 0);
+            event!(trace_id, "serve.solve", EventKind::Solve, 1);
             response_error(Some(query.id), &format!("solve failed: {e}"))
         }
     }
 }
 
-/// The bucket index at or below which 95 % of a histogram's
-/// observations fall (`None` when empty). For `serve.latency_log2_ns`
-/// the bucket index is `log₂(latency in ns)`, so p95 latency is
-/// `~2^bucket` ns.
+/// The interpolated `q`-quantile of a log₂-ns latency histogram,
+/// converted back to nanoseconds (`2^percentile`, rounded). 0 when the
+/// histogram is absent or empty — "no latency recorded yet" renders as
+/// 0 ns rather than an error.
 #[must_use]
-pub fn p95_bucket(h: &HistogramSnapshot) -> Option<usize> {
-    if h.count == 0 {
-        return None;
-    }
-    let rank = (h.count * 95).div_ceil(100).max(1);
-    let mut cumulative = 0u64;
-    for (index, &bucket) in h.buckets.iter().enumerate() {
-        cumulative += bucket;
-        if cumulative >= rank {
-            return Some(index);
-        }
-    }
-    Some(h.buckets.len().saturating_sub(1))
+pub fn log2_percentile_ns(h: Option<&HistogramSnapshot>, q: f64) -> u64 {
+    h.and_then(|h| h.percentile(q))
+        .map_or(0, |p| 2f64.powf(p).round() as u64)
 }
 
 #[cfg(test)]
@@ -365,6 +498,30 @@ mod tests {
         let mut out = Vec::new();
         let summary = server.serve(input.as_bytes(), &mut out).unwrap();
         (String::from_utf8(out).unwrap(), summary)
+    }
+
+    /// Removes every `"<key>_ns":<digits>` field (and its trailing
+    /// comma, when present) — the documented wall-clock escape hatch —
+    /// so byte-identity can be asserted on everything else.
+    fn strip_ns_fields(text: &str) -> String {
+        let mut out = String::new();
+        for line in text.lines() {
+            let mut s = line.to_string();
+            while let Some(found) = s.find("_ns\":") {
+                let key_start = s[..found].rfind('"').unwrap_or(0);
+                let mut end = found + "_ns\":".len();
+                while s.as_bytes().get(end).is_some_and(u8::is_ascii_digit) {
+                    end += 1;
+                }
+                if s.as_bytes().get(end) == Some(&b',') {
+                    end += 1;
+                }
+                s.replace_range(key_start..end, "");
+            }
+            out.push_str(&s);
+            out.push('\n');
+        }
+        out
     }
 
     #[test]
@@ -390,7 +547,7 @@ mod tests {
     }
 
     #[test]
-    fn two_runs_over_the_same_input_are_byte_identical() {
+    fn two_runs_over_the_same_input_are_byte_identical_modulo_ns() {
         let input = r#"{"id":1,"op":"optimum","node":"250nm","l_nh_mm":0.9}
 {"id":2,"op":"lcrit","node":"100nm","l_nh_mm":2.2}
 {"id":3,"op":"optimum","node":"250nm","l_nh_mm":0.9}
@@ -401,13 +558,96 @@ not json at all
 "#;
         let (a, sa) = run(&Server::new(ServeConfig::default()), input);
         let (b, sb) = run(&Server::new(ServeConfig::default()), input);
-        assert_eq!(a, b, "same input must produce byte-identical output");
+        assert_eq!(
+            strip_ns_fields(&a),
+            strip_ns_fields(&b),
+            "same input must produce byte-identical output modulo *_ns fields"
+        );
         assert_eq!(sa, sb);
         assert_eq!(sa.errors, 1);
         // The mid-stream stats saw exactly the first three requests.
         let stats_line = a.lines().nth(3).unwrap();
         assert!(stats_line.contains("\"hits\":1"), "{stats_line}");
         assert!(stats_line.contains("\"misses\":2"), "{stats_line}");
+        // The barrier guarantees nothing is in flight, deterministically.
+        assert!(stats_line.contains("\"in_flight\":0"), "{stats_line}");
+        for field in ["\"uptime_ns\":", "\"p50_ns\":", "\"p95_ns\":", "\"p99_ns\":"] {
+            assert!(stats_line.contains(field), "{field} missing: {stats_line}");
+        }
+    }
+
+    #[test]
+    fn trace_op_answers_a_live_snapshot() {
+        rlckit_trace::set_enabled(true);
+        let server = Server::new(ServeConfig::default());
+        let input = r#"{"id":1,"op":"optimum","node":"100nm","l_nh_mm":0.7}
+{"id":2,"op":"stats"}
+{"id":3,"op":"trace"}
+"#;
+        let (out, summary) = run(&server, input);
+        assert_eq!(summary.requests, 3);
+        let trace_line = out.lines().nth(2).unwrap();
+        assert!(trace_line.starts_with("{\"id\":3,\"ok\":true,\"op\":\"trace\""), "{trace_line}");
+        assert!(trace_line.contains("\"requests\":3"), "{trace_line}");
+        assert!(trace_line.contains("\"parse_errors\":0"), "{trace_line}");
+        assert!(trace_line.contains("\"uptime_ns\":"), "{trace_line}");
+        assert!(trace_line.contains("\"slowest\":[{\"trace_id\":"), "{trace_line}");
+        // The flight recorder had recorded events by answer time.
+        let events: u64 = trace_line
+            .split("\"events\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(events > 0, "{trace_line}");
+    }
+
+    #[test]
+    fn every_request_leaves_a_reconstructible_span_tree() {
+        rlckit_trace::set_enabled(true);
+        let server = Server::new(ServeConfig::default());
+        let input = r#"{"id":1,"op":"optimum","node":"250nm","l_nh_mm":1.1}
+{"id":2,"op":"lcrit","node":"250nm","l_nh_mm":1.1}
+"#;
+        let (_, summary) = run(&server, input);
+        assert_eq!(summary.requests, 2);
+        // Group all flight-recorder events by trace. Sibling tests may
+        // interleave their own traces; the span-tree invariant below
+        // holds for every query trace regardless of origin.
+        let drained = rlckit_trace::events::collect();
+        let mut by_trace: BTreeMap<u64, Vec<&rlckit_trace::events::EventRecord>> = BTreeMap::new();
+        for e in &drained.events {
+            by_trace.entry(e.trace_id).or_default().push(e);
+        }
+        let mut full_trees = 0;
+        for events in by_trace.values() {
+            // A trace that probed the memo is a served query: it must
+            // carry the whole pipeline, in causal order.
+            if !events.iter().any(|e| e.scope == "serve.memo") {
+                continue;
+            }
+            let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    EventKind::Parse,
+                    EventKind::Route,
+                    EventKind::Dequeue,
+                    EventKind::Probe,
+                    EventKind::Solve,
+                    EventKind::Write,
+                ],
+                "incomplete span tree: {events:?}"
+            );
+            // Route and Dequeue agree on the shard (worker pinning).
+            assert_eq!(events[1].value, events[2].value, "{events:?}");
+            // Causal order is also temporal order within one trace.
+            for pair in events.windows(2) {
+                assert!(pair[0].t_ns <= pair[1].t_ns, "{events:?}");
+            }
+            full_trees += 1;
+        }
+        assert!(full_trees >= 2, "both queries must leave full span trees");
     }
 
     #[test]
@@ -460,15 +700,35 @@ not json at all
     }
 
     #[test]
-    fn p95_bucket_reads_the_cumulative_histogram() {
-        let mut h = HistogramSnapshot::default();
-        assert_eq!(p95_bucket(&h), None);
-        h.count = 100;
-        h.buckets = vec![50, 40, 5, 4, 1];
-        assert_eq!(p95_bucket(&h), Some(2));
-        h.count = 1;
-        h.buckets = vec![0, 1];
-        assert_eq!(p95_bucket(&h), Some(1));
+    fn log2_percentile_ns_interpolates_the_latency_histogram() {
+        assert_eq!(log2_percentile_ns(None, 0.95), 0);
+        let empty = HistogramSnapshot::default();
+        assert_eq!(log2_percentile_ns(Some(&empty), 0.95), 0);
+        // All observations in log₂ bucket 10 (≈1–2 µs): the
+        // interpolated p95 sits inside [2^10, 2^11).
+        let mut h = HistogramSnapshot {
+            count: 100,
+            sum: 1000,
+            min: Some(10),
+            max: Some(10),
+            buckets: vec![0; rlckit_trace::BUCKETS],
+        };
+        h.buckets[10] = 100;
+        let p95 = log2_percentile_ns(Some(&h), 0.95);
+        assert!((1024..2048).contains(&p95), "{p95}");
+    }
+
+    #[test]
+    fn slow_log_keeps_the_worst_n_sorted() {
+        let mut log = SlowLog::default();
+        for (id, ns) in (0..20u64).map(|i| (i, 1000 * (i % 10) + 7)) {
+            log.record(id, ns);
+        }
+        assert_eq!(log.entries.len(), SLOW_LOG_CAPACITY);
+        for pair in log.entries.windows(2) {
+            assert!(pair[0].total_ns >= pair[1].total_ns, "{:?}", log.entries);
+        }
+        assert_eq!(log.entries[0].total_ns, 9007, "worst first");
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! unless answers are memoized. This crate is that serving layer:
 //!
 //! * [`protocol`] — a line-oriented JSON request/response protocol
-//!   (`optimum`, `route_delay`, `lcrit`, `stats`), hand-validated so no
-//!   request can reach a panicking constructor;
+//!   (`optimum`, `route_delay`, `lcrit`, `stats`, `trace`),
+//!   hand-validated so no request can reach a panicking constructor;
 //! * [`engine`] — the pipeline: one router, a
 //!   [`rlckit_par::ShardedPool`] of workers pinned one-to-one to the
 //!   shards of a [`rlckit::memo::OptimumMemo`], and a writer that
-//!   restores request order (byte-identical reruns by construction);
+//!   restores request order (byte-identical reruns by construction,
+//!   modulo the `*_ns` wall-clock fields), plus the per-request
+//!   flight-recorder span trees ([`rlckit_trace::events`]);
 //! * [`snapshot`] — boot-time warm-start persistence, so the NTRS grid
 //!   optima survive restarts.
 //!

@@ -11,7 +11,14 @@
 //! | `optimum` | optimal `(h, k)` configuration | — |
 //! | `route_delay` | total delay of an optimally-buffered route | `length_m` or `length_mm` |
 //! | `lcrit` | critical inductance at the optimum (Eq. 4) | — |
-//! | `stats` | memo/served counters | — |
+//! | `stats` | memo/served counters + latency percentiles (barrier) | — |
+//! | `trace` | live snapshot: counters, percentiles, slowest traces, in-flight, uptime | — |
+//!
+//! `stats` is a pipeline barrier and therefore deterministic (its
+//! `*_ns` fields aside); `trace` is answered immediately by the router
+//! as a *live* observability snapshot — its in-flight count and
+//! slowest-request ranking reflect scheduling and are explicitly
+//! outside the byte-identity contract.
 //!
 //! The line and driver are specified either from a named NTRS node —
 //! `"node"`: `"250nm"`, `"100nm"` or `"100nm_eps33"` — plus the swept
@@ -161,7 +168,7 @@ fn parse_value(bytes: &[u8], pos: usize) -> Result<(Value, usize), String> {
     }
 }
 
-/// The four request operations.
+/// The five request operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// The continuous optimum `(h_opt, k_opt, τ_opt)`.
@@ -173,6 +180,8 @@ pub enum Op {
     /// Serving counters (a pipeline barrier: answered only after every
     /// earlier response has been written).
     Stats,
+    /// Live flight-recorder snapshot (router-answered, no barrier).
+    Trace,
 }
 
 impl Op {
@@ -184,6 +193,20 @@ impl Op {
             Self::RouteDelay => "route_delay",
             Self::Lcrit => "lcrit",
             Self::Stats => "stats",
+            Self::Trace => "trace",
+        }
+    }
+
+    /// A stable small integer for flight-recorder event payloads
+    /// (`serve.parse` events carry it as the value).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            Self::Optimum => 0,
+            Self::RouteDelay => 1,
+            Self::Lcrit => 2,
+            Self::Stats => 3,
+            Self::Trace => 4,
         }
     }
 }
@@ -213,6 +236,11 @@ pub enum Request {
     Query(Box<Query>),
     /// A stats barrier.
     Stats {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+    /// A live trace snapshot (no barrier).
+    Trace {
         /// Client-chosen request id, echoed in the response.
         id: u64,
     },
@@ -269,6 +297,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some("route_delay") => Op::RouteDelay,
         Some("lcrit") => Op::Lcrit,
         Some("stats") => return Ok(Request::Stats { id }),
+        Some("trace") => return Ok(Request::Trace { id }),
         Some(other) => return Err(format!("unknown op {other:?}")),
         None => return Err("missing field \"op\"".into()),
     };
@@ -426,6 +455,12 @@ pub fn response_lcrit(id: u64, lcrit: HenriesPerMeter, served: Served) -> String
 }
 
 /// Counters reported by a `stats` response.
+///
+/// Every field except the three `*_ns` latency percentiles and
+/// `uptime_ns` is deterministic at the barrier (`in_flight` is always
+/// 0 there — the barrier *is* "nothing in flight"); the `*_ns` fields
+/// are wall clock, named per the trace-crate contract so determinism
+/// checks can strip them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsView {
     /// Entries currently retained across all shards.
@@ -438,6 +473,17 @@ pub struct StatsView {
     pub misses: u64,
     /// Process-lifetime `memo.evictions`.
     pub evictions: u64,
+    /// Requests submitted but not yet written (0 at a barrier).
+    pub in_flight: u64,
+    /// Nanoseconds since the server was created.
+    pub uptime_ns: u64,
+    /// Median end-to-end request latency in ns (session, interpolated
+    /// from the log₂ histogram; 0 when no latency was recorded).
+    pub p50_ns: u64,
+    /// 95th-percentile end-to-end request latency in ns.
+    pub p95_ns: u64,
+    /// 99th-percentile end-to-end request latency in ns.
+    pub p99_ns: u64,
 }
 
 /// Successful `stats` response.
@@ -445,8 +491,81 @@ pub struct StatsView {
 pub fn response_stats(id: u64, stats: &StatsView) -> String {
     format!(
         "{{\"id\":{id},\"ok\":true,\"op\":\"stats\",\"entries\":{},\"workers\":{},\
-         \"hits\":{},\"misses\":{},\"evictions\":{}}}",
-        stats.entries, stats.workers, stats.hits, stats.misses, stats.evictions,
+         \"hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{},\
+         \"uptime_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        stats.entries,
+        stats.workers,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.in_flight,
+        stats.uptime_ns,
+        stats.p50_ns,
+        stats.p95_ns,
+        stats.p99_ns,
+    )
+}
+
+/// One entry of the `trace` response's slowest-requests table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowRequest {
+    /// The request's flight-recorder trace id.
+    pub trace_id: u64,
+    /// End-to-end latency (parse to write) in ns.
+    pub total_ns: u64,
+}
+
+/// The live snapshot reported by a `trace` response. Unlike
+/// [`StatsView`] this is *not* part of the byte-identity contract:
+/// `in_flight` and the slowest ranking reflect scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOpView {
+    /// Requests consumed by this session so far (including this one).
+    pub requests: u64,
+    /// Session parse errors.
+    pub parse_errors: u64,
+    /// Process-lifetime solve errors.
+    pub solve_errors: u64,
+    /// Requests submitted but not yet written, at answer time.
+    pub in_flight: u64,
+    /// Flight-recorder events currently retained across all rings.
+    pub events: u64,
+    /// Nanoseconds since the server was created.
+    pub uptime_ns: u64,
+    /// Median end-to-end request latency in ns (session).
+    pub p50_ns: u64,
+    /// 95th-percentile end-to-end request latency in ns.
+    pub p95_ns: u64,
+    /// 99th-percentile end-to-end request latency in ns.
+    pub p99_ns: u64,
+    /// The slowest requests seen so far, worst first.
+    pub slowest: Vec<SlowRequest>,
+}
+
+/// Successful `trace` response. The `slowest` array is the protocol's
+/// one nested value — it appears only in responses; requests stay
+/// flat.
+#[must_use]
+pub fn response_trace(id: u64, view: &TraceOpView) -> String {
+    let slowest: Vec<String> = view
+        .slowest
+        .iter()
+        .map(|s| format!("{{\"trace_id\":{},\"total_ns\":{}}}", s.trace_id, s.total_ns))
+        .collect();
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"op\":\"trace\",\"requests\":{},\"parse_errors\":{},\
+         \"solve_errors\":{},\"in_flight\":{},\"events\":{},\"uptime_ns\":{},\
+         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"slowest\":[{}]}}",
+        view.requests,
+        view.parse_errors,
+        view.solve_errors,
+        view.in_flight,
+        view.events,
+        view.uptime_ns,
+        view.p50_ns,
+        view.p95_ns,
+        view.p99_ns,
+        slowest.join(","),
     )
 }
 
@@ -537,6 +656,10 @@ mod tests {
             parse_request(r#"{"id":9,"op":"stats"}"#).unwrap(),
             Request::Stats { id: 9 }
         );
+        assert_eq!(
+            parse_request(r#"{"id":11,"op":"trace"}"#).unwrap(),
+            Request::Trace { id: 11 }
+        );
         assert_eq!(request_id_of(r#"{"id":4,"op":"bogus"}"#), Some(4));
         assert_eq!(request_id_of("not json"), None);
     }
@@ -557,11 +680,55 @@ mod tests {
                 hits: 10,
                 misses: 3,
                 evictions: 0,
+                in_flight: 0,
+                uptime_ns: 123,
+                p50_ns: 512,
+                p95_ns: 2048,
+                p99_ns: 4096,
             },
         );
         assert_eq!(
             stats,
-            r#"{"id":1,"ok":true,"op":"stats","entries":2,"workers":4,"hits":10,"misses":3,"evictions":0}"#
+            "{\"id\":1,\"ok\":true,\"op\":\"stats\",\"entries\":2,\"workers\":4,\
+             \"hits\":10,\"misses\":3,\"evictions\":0,\"in_flight\":0,\
+             \"uptime_ns\":123,\"p50_ns\":512,\"p95_ns\":2048,\"p99_ns\":4096}"
         );
+    }
+
+    #[test]
+    fn trace_response_carries_the_slowest_table() {
+        let view = TraceOpView {
+            requests: 9,
+            parse_errors: 1,
+            solve_errors: 0,
+            in_flight: 2,
+            events: 40,
+            uptime_ns: 777,
+            p50_ns: 100,
+            p95_ns: 200,
+            p99_ns: 300,
+            slowest: vec![
+                SlowRequest { trace_id: 5, total_ns: 9000 },
+                SlowRequest { trace_id: 2, total_ns: 4000 },
+            ],
+        };
+        assert_eq!(
+            response_trace(7, &view),
+            "{\"id\":7,\"ok\":true,\"op\":\"trace\",\"requests\":9,\"parse_errors\":1,\
+             \"solve_errors\":0,\"in_flight\":2,\"events\":40,\"uptime_ns\":777,\
+             \"p50_ns\":100,\"p95_ns\":200,\"p99_ns\":300,\
+             \"slowest\":[{\"trace_id\":5,\"total_ns\":9000},{\"trace_id\":2,\"total_ns\":4000}]}"
+        );
+        // Empty slow log still renders a well-formed array.
+        let empty = TraceOpView { slowest: Vec::new(), ..view };
+        assert!(response_trace(7, &empty).contains("\"slowest\":[]}"));
+    }
+
+    #[test]
+    fn op_codes_are_stable_and_distinct() {
+        let ops = [Op::Optimum, Op::RouteDelay, Op::Lcrit, Op::Stats, Op::Trace];
+        let codes: Vec<u64> = ops.iter().map(|o| o.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(Op::Trace.label(), "trace");
     }
 }

@@ -73,6 +73,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -440,6 +442,51 @@ impl HistogramSnapshot {
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
     }
+
+    /// The `q`-quantile of the observations (`q` in `[0, 1]`), with
+    /// linear interpolation *within* the containing bucket: bucket `i`
+    /// holds observations of exact value `i`, modelled as uniformly
+    /// spread over `[i, i+1)`, so e.g. the median of 100 observations
+    /// of `3` is `3.5` rather than a bare bucket index. `None` when the
+    /// histogram is empty or `q` is out of range / non-finite.
+    ///
+    /// The last bucket is the overflow bucket (observations `>=
+    /// BUCKETS-1`): a quantile landing there interpolates between the
+    /// bucket's lower bound and the recorded `max` instead of
+    /// pretending the bucket is one unit wide — including the
+    /// all-overflow case where *every* observation saturated. (After
+    /// [`Snapshot::since`] the `max` is process-lifetime, not
+    /// interval-exact — see [`HistogramSnapshot::min`] — so overflow
+    /// interpolation on a delta is an upper-bound estimate.)
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let last = self.buckets.len().checked_sub(1)?;
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += bucket;
+            if cumulative as f64 >= rank {
+                let fraction = ((rank - before) / bucket as f64).clamp(0.0, 1.0);
+                let (lo, hi) = if index == last {
+                    let bound = self.max.map_or(last as f64, |m| m as f64).max(last as f64);
+                    (last as f64, bound)
+                } else {
+                    (index as f64, index as f64 + 1.0)
+                };
+                return Some(lo + fraction * (hi - lo));
+            }
+        }
+        // Floating-point slack consumed every bucket: the answer is the
+        // top of the populated range.
+        Some(self.max.map_or(last as f64, |m| m as f64))
+    }
 }
 
 /// Point-in-time value of one span timer. All fields are wall-clock
@@ -653,7 +700,7 @@ pub fn summary_string() -> String {
     summary_of(&snapshot())
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -720,6 +767,11 @@ pub fn jsonl_string() -> String {
 /// Per-process sequence number stamped into `jsonl+:` flush markers.
 static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Serializes concurrent flushes so each appended block is one
+/// contiguous byte range with an in-order marker (see
+/// [`append_jsonl_snapshot`]).
+static FLUSH_LOCK: Mutex<()> = Mutex::new(());
+
 /// Appends one marker-delimited snapshot of the current metrics to
 /// `path`: a `{"type":"flush","value":<seq>}` marker line (`seq` is a
 /// per-process counter starting at 0) followed by the full
@@ -728,13 +780,22 @@ static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
 /// where the truncating `jsonl:<path>` sink would leave only the last
 /// flush on disk. The file is created if absent.
 ///
+/// Flushes are atomic with respect to each other: the marker's
+/// sequence number is claimed and the whole block written as a single
+/// `write_all` under one process-wide lock, so a reader never sees a
+/// torn block and marker values appear in strictly increasing file
+/// order even when a background flusher races an exit flush.
+///
 /// # Errors
 ///
 /// Propagates the underlying open/write failure.
 pub fn append_jsonl_snapshot(path: &std::path::Path) -> std::io::Result<()> {
+    let _guard = FLUSH_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let seq = FLUSH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut block = format!("{{\"type\":\"flush\",\"value\":{seq}}}\n");
+    block.push_str(&jsonl_string());
     let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    write!(file, "{{\"type\":\"flush\",\"value\":{seq}}}\n{}", jsonl_string())
+    file.write_all(block.as_bytes())
 }
 
 /// Writes the end-of-run report to the sink `RLCKIT_TRACE` selects
@@ -925,6 +986,126 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Pre-fix regression for flush atomicity: the marker's sequence
+    /// number used to be claimed outside any lock and the block written
+    /// through `write!` (multiple underlying writes), so two racing
+    /// flushes could interleave their bytes — torn lines — or land
+    /// their markers out of order. Post-fix each flush is one
+    /// `write_all` under a lock that also claims the sequence number.
+    #[test]
+    fn interleaved_append_flushes_never_tear_blocks() {
+        let path = std::env::temp_dir().join(format!(
+            "rlckit_trace_interleave_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        const THREADS: u64 = 8;
+        const FLUSHES: u64 = 5;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..FLUSHES {
+                        // Grow the snapshot between flushes so blocks are
+                        // big enough that an unserialized writer would
+                        // interleave.
+                        histogram!("test.interleave_flush_load").observe(t * FLUSHES + i);
+                        append_jsonl_snapshot(path).expect("append");
+                    }
+                });
+            }
+        });
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let mut markers = Vec::new();
+        for line in text.lines() {
+            // No torn lines: every line is a standalone JSON object.
+            assert!(line.starts_with('{') && line.ends_with('}'), "torn line: {line:?}");
+            if let Some(rest) = line.strip_prefix("{\"type\":\"flush\",\"value\":") {
+                let seq: u64 = rest.trim_end_matches('}').parse().expect(line);
+                markers.push(seq);
+            }
+        }
+        assert_eq!(markers.len() as u64, THREADS * FLUSHES);
+        // Markers appear in strictly increasing file order: the claim
+        // and the write happened under one lock.
+        for pair in markers.windows(2) {
+            assert!(pair[0] < pair[1], "markers out of order: {markers:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        // 100 observations uniformly over values 0..10: the exact
+        // distribution's quantile function is q -> 10q.
+        let mut h = HistogramSnapshot {
+            count: 100,
+            sum: 450,
+            min: Some(0),
+            max: Some(9),
+            buckets: vec![0; BUCKETS],
+        };
+        for b in 0..10 {
+            h.buckets[b] = 10;
+        }
+        assert!((h.percentile(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((h.percentile(0.95).unwrap() - 9.5).abs() < 1e-12);
+        assert!((h.percentile(1.0).unwrap() - 10.0).abs() < 1e-12);
+        assert!((h.percentile(0.0).unwrap() - 0.0).abs() < 1e-12);
+
+        // A point mass at 3 spreads over [3, 4): the median is 3.5, not
+        // the bare bucket index.
+        let point = HistogramSnapshot {
+            count: 100,
+            sum: 300,
+            min: Some(3),
+            max: Some(3),
+            buckets: {
+                let mut b = vec![0; BUCKETS];
+                b[3] = 100;
+                b
+            },
+        };
+        assert!((point.percentile(0.5).unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_handles_overflow_and_degenerate_inputs() {
+        // All-overflow: every observation saturated into the last
+        // bucket. Interpolation runs between the bucket's lower bound
+        // and the recorded max instead of a fictitious +1 width.
+        let mut all_over = HistogramSnapshot {
+            count: 10,
+            sum: 400,
+            min: Some(40),
+            max: Some(40),
+            buckets: vec![0; BUCKETS],
+        };
+        all_over.buckets[BUCKETS - 1] = 10;
+        let lo = (BUCKETS - 1) as f64;
+        let p50 = all_over.percentile(0.5).unwrap();
+        assert!((p50 - (lo + 0.5 * (40.0 - lo))).abs() < 1e-12, "{p50}");
+        assert!((all_over.percentile(1.0).unwrap() - 40.0).abs() < 1e-12);
+
+        // Mixed: half exact, half overflow — p25 is exact-range, p75
+        // overflow-range.
+        let mut mixed = all_over.clone();
+        mixed.count = 20;
+        mixed.buckets[2] = 10;
+        mixed.min = Some(2);
+        assert!(mixed.percentile(0.25).unwrap() < 3.0);
+        assert!(mixed.percentile(0.75).unwrap() > lo);
+
+        // Empty and out-of-range inputs answer None, never panic.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(all_over.percentile(-0.1), None);
+        assert_eq!(all_over.percentile(1.5), None);
+        assert_eq!(all_over.percentile(f64::NAN), None);
     }
 
     #[test]

@@ -107,22 +107,30 @@ fi
 
 # Serving smoke: boot the daemon twice over one seeded loadgen mix
 # (cold boot saves a warm-start snapshot; the second boot reloads it).
-# Responses must be byte-identical across the runs, the trailing stats
-# barrier must show memo hits, and the solver must never fail to
-# converge while serving.
+# Responses must be byte-identical across the runs once the documented
+# `*_ns` wall-clock fields are stripped, the drained flight-recorder
+# event streams must be byte-identical once `t_ns` is stripped, the
+# trailing stats barrier must show memo hits, and the solver must never
+# fail to converge while serving.
+strip_ns() { sed 's/"[a-z0-9_]*_ns":[0-9]*,\{0,1\}//g' "$1"; }
 cargo run --release --offline -q -p rlckit-bench --bin loadgen -- --emit=120 \
   > "$serve_dir/mix.jsonl"
 for run in a b; do
   RLCKIT_TRACE=summary cargo run --release --offline -q -p rlckit-serve -- \
     --stdin --workers 4 --warm-grid 5 --snapshot "$serve_dir/memo.snapshot" \
+    --trace-events "$serve_dir/$run.events.jsonl" \
     < "$serve_dir/mix.jsonl" > "$serve_dir/$run.out" 2> "$serve_dir/$run.log"
   if grep -q '\.no_convergence' "$serve_dir/$run.log"; then
     echo "tier-1 gate: FAIL — rlckit-serve surfaced no_convergence (run $run)" >&2
     exit 1
   fi
 done
-if ! cmp -s "$serve_dir/a.out" "$serve_dir/b.out"; then
+if ! cmp -s <(strip_ns "$serve_dir/a.out") <(strip_ns "$serve_dir/b.out"); then
   echo "tier-1 gate: FAIL — rlckit-serve responses drifted between two seeded runs" >&2
+  exit 1
+fi
+if ! cmp -s <(strip_ns "$serve_dir/a.events.jsonl") <(strip_ns "$serve_dir/b.events.jsonl"); then
+  echo "tier-1 gate: FAIL — flight-recorder event streams drifted between two seeded runs" >&2
   exit 1
 fi
 if ! grep -q 'warm-started' "$serve_dir/b.log"; then
@@ -132,6 +140,56 @@ fi
 serve_hits="$(tail -n 1 "$serve_dir/a.out" | grep -o '"hits":[0-9]*' | cut -d: -f2)"
 if ! awk -v x="${serve_hits:-0}" 'BEGIN { exit !(x > 0) }'; then
   echo "tier-1 gate: FAIL — serve smoke took no memo hits (stats hits=${serve_hits:-missing})" >&2
+  exit 1
+fi
+# The extended stats response must carry the new observability fields:
+# a barrier stats is deterministic, so in_flight is exactly 0, and the
+# latency percentiles/uptime must at least be present (values are
+# wall-clock and were stripped from the cmp above).
+stats_line="$(tail -n 1 "$serve_dir/a.out")"
+if ! echo "$stats_line" | grep -q '"in_flight":0'; then
+  echo "tier-1 gate: FAIL — barrier stats did not report in_flight=0: $stats_line" >&2
+  exit 1
+fi
+for field in uptime_ns p50_ns p95_ns p99_ns; do
+  if ! echo "$stats_line" | grep -q "\"$field\":"; then
+    echo "tier-1 gate: FAIL — stats response lost the $field field: $stats_line" >&2
+    exit 1
+  fi
+done
+
+# Trace-op smoke: the live observability snapshot must answer with the
+# slowest-requests table and a nonzero drained-event count.
+printf '%s\n' \
+  '{"id":1,"op":"optimum","node":"100nm","l_nh_mm":1.5}' \
+  '{"id":2,"op":"stats"}' \
+  '{"id":3,"op":"trace"}' \
+  | RLCKIT_TRACE=summary cargo run --release --offline -q -p rlckit-serve -- \
+      --stdin --workers 2 > "$serve_dir/trace_op.out" 2>/dev/null
+trace_line="$(tail -n 1 "$serve_dir/trace_op.out")"
+if ! echo "$trace_line" | grep -q '"op":"trace"'; then
+  echo "tier-1 gate: FAIL — trace op got no trace response: $trace_line" >&2
+  exit 1
+fi
+if ! echo "$trace_line" | grep -q '"slowest":\[{"trace_id":'; then
+  echo "tier-1 gate: FAIL — trace op reported an empty slow log: $trace_line" >&2
+  exit 1
+fi
+if ! echo "$trace_line" | grep -qE '"events":[1-9]'; then
+  echo "tier-1 gate: FAIL — trace op saw no flight-recorder events: $trace_line" >&2
+  exit 1
+fi
+
+# Traceview smoke: the offline analyzer must parse a real capture, see
+# a nonzero event count, and exit 0.
+cargo run --release --offline -q -p rlckit-bench --bin rlckit-traceview -- \
+  "$serve_dir/a.events.jsonl" > "$serve_dir/traceview.out"
+if ! grep -qE '^[1-9][0-9]* events across [1-9]' "$serve_dir/traceview.out"; then
+  echo "tier-1 gate: FAIL — rlckit-traceview read no events from the serve capture" >&2
+  exit 1
+fi
+if ! grep -q '^total' "$serve_dir/traceview.out"; then
+  echo "tier-1 gate: FAIL — rlckit-traceview printed no total-phase row" >&2
   exit 1
 fi
 
@@ -165,6 +223,16 @@ fi
 serve_errors="$(bench_metric serve hot_mix_replay errors)"
 if ! awk -v x="${serve_errors:-1}" 'BEGIN { exit !(x == 0) }'; then
   echo "tier-1 gate: FAIL — serve hot-mix baseline recorded ${serve_errors:-missing} errors" >&2
+  exit 1
+fi
+# Flight-recorder budget (BENCH_trace_overhead): the disabled-path
+# `event!` must stay one relaxed load — a committed median above 25 ns
+# means someone put work (a clock read, an allocation, a lock) in front
+# of the enabled check, which taxes every request of every un-traced
+# run.
+event_off="$(bench_metric trace_overhead event_record_disabled median)"
+if ! awk -v x="${event_off:-99}" 'BEGIN { exit !(x <= 25.0) }'; then
+  echo "tier-1 gate: FAIL — disabled-path event record costs ${event_off:-missing} ns (> 25)" >&2
   exit 1
 fi
 # Batch-engine guards (BENCH_batch): the serial lockstep win must hold

@@ -47,6 +47,11 @@ fn workspace_manifests() -> Vec<PathBuf> {
         manifests.iter().any(|m| m.ends_with("crates/serve/Cargo.toml")),
         "the rlckit-serve manifest must be scanned, found {manifests:?}"
     );
+    assert!(
+        manifests.iter().any(|m| m.ends_with("crates/bench/Cargo.toml")),
+        "the rlckit-bench manifest (loadgen, rlckit-traceview) must be scanned, \
+         found {manifests:?}"
+    );
     manifests
 }
 

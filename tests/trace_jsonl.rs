@@ -2,7 +2,9 @@
 //! writes must parse as a standalone JSON object, and the only
 //! non-deterministic values allowed are span wall-clock fields under
 //! the documented `*_ns` keys. Downstream tooling (and the determinism
-//! tests) rely on being able to strip `*_ns` and diff the rest.
+//! tests) rely on being able to strip `*_ns` and diff the rest. The
+//! flight-recorder event stream (`rlckit_trace::events::jsonl_of`) is
+//! held to the same contract with `t_ns` as its only wall-clock key.
 //!
 //! The sink has no serde dependency (hermetic build), so neither does
 //! this guard: it carries a purpose-built minimal JSON reader.
@@ -289,6 +291,78 @@ fn jsonl_sink_is_json_lines_with_only_documented_nondeterminism() {
         diffs.iter().all(|l| l.contains("jsonl.guard.span")),
         "deterministic records drifted between renders: {diffs:?}"
     );
+}
+
+/// Keys an `"event"` line may carry; `t_ns` is the only wall-clock one.
+const EVENT_KEYS: [&str; 6] = ["type", "trace_id", "scope", "kind", "value", "t_ns"];
+
+#[test]
+fn event_stream_jsonl_has_only_t_ns_nondeterminism() {
+    // The flight recorder shares the enable gate with spans, and the
+    // sibling test toggles it; retry until a recording lands so the two
+    // tests cannot race each other into a false failure.
+    let mut recorded = Vec::new();
+    let mut dropped = 0;
+    for _ in 0..64 {
+        rlckit_trace::set_enabled(true);
+        rlckit_trace::event!(
+            0x4A47_u64,
+            "jsonl.guard.event",
+            rlckit_trace::events::EventKind::Solve,
+            7
+        );
+        let drained = rlckit_trace::events::collect();
+        dropped += drained.dropped;
+        recorded.extend(drained.events);
+        if recorded
+            .iter()
+            .any(|e| e.trace_id == 0x4A47 && e.scope == "jsonl.guard.event")
+        {
+            break;
+        }
+    }
+    let text = rlckit_trace::events::jsonl_of(&rlckit_trace::events::DrainedEvents {
+        events: recorded,
+        dropped,
+    });
+
+    let mut saw_ours = false;
+    for line in text.lines() {
+        let members = parse_line(line);
+        let kind = members
+            .iter()
+            .find_map(|(k, v)| (k == "type").then_some(v))
+            .unwrap_or_else(|| panic!("missing type in {line:?}"));
+        match kind {
+            Json::Str(s) if s == "event" => {
+                for (key, _) in &members {
+                    assert!(
+                        EVENT_KEYS.contains(&key.as_str()),
+                        "undocumented event key {key:?} in {line:?}"
+                    );
+                }
+                for (key, _) in members.iter().filter(|(k, _)| k.ends_with("_ns")) {
+                    assert_eq!(key, "t_ns", "wall clock outside t_ns in {line:?}");
+                }
+                if line.contains("\"scope\":\"jsonl.guard.event\"") {
+                    assert!(line.contains("\"trace_id\":19015"), "{line}");
+                    assert!(line.contains("\"kind\":\"solve\""), "{line}");
+                    assert!(line.contains("\"value\":7"), "{line}");
+                    saw_ours = true;
+                }
+            }
+            Json::Str(s) if s == "events_dropped" => {
+                for (key, _) in &members {
+                    assert!(
+                        key == "type" || key == "value",
+                        "undocumented drop-footer key {key:?} in {line:?}"
+                    );
+                }
+            }
+            other => panic!("unknown event-stream record type {other:?} in {line:?}"),
+        }
+    }
+    assert!(saw_ours, "the recorded guard event must serialize:\n{text}");
 }
 
 #[test]
