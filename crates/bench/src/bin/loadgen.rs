@@ -16,8 +16,7 @@
 //! [`rlckit_serve::Server`] and the result is the `results/
 //! BENCH_serve.json` baseline: replay time plus derived
 //! queries-per-second, hit rate, and the interpolated p95 end-to-end
-//! latency (both as a `log₂(ns)` position and in ns) — the numbers the
-//! tier-1 perf guard checks. With `--emit=N` the mix
+//! latency in nanoseconds — the numbers the tier-1 perf guard checks. With `--emit=N` the mix
 //! (plus a trailing `stats` barrier) is printed to stdout instead, for
 //! the tier-1 smoke that pipes the same seeded mix through the daemon
 //! binary twice and `cmp`s the responses byte for byte.
@@ -146,10 +145,8 @@ fn main() {
             let mut extras = Vec::new();
             if let Some(hist) = delta.histograms.get("serve.latency_log2_ns") {
                 if let Some(p95) = hist.percentile(0.95) {
-                    // Interpolated log₂ position — kept one release for
-                    // comparison against the old bucket-index column.
-                    extras.push(("p95_latency_log2_ns".to_string(), p95));
-                    // The headline number: the same p95 back in ns.
+                    // The headline number: the interpolated log₂-bucket
+                    // p95 converted back to nanoseconds.
                     extras.push(("p95_latency_ns".to_string(), 2f64.powf(p95).round()));
                 }
             }

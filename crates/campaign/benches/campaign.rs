@@ -1,0 +1,79 @@
+//! Shard-count scaling of the supervised campaign driver.
+//!
+//! Compares the in-process solo campaign against supervised
+//! multi-process runs at increasing shard counts, each iteration on a
+//! fresh directory so every sample measures the full compute (not a
+//! checkpoint replay). On a single-CPU box the supervised runs mostly
+//! measure process and supervision overhead; the `cores` annotation
+//! lets readers (and the tier-1 guard) interpret the speedups
+//! accordingly.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use rlckit_bench::timer::{BenchOptions, Harness};
+use rlckit_campaign::grid::{CampaignNode, CampaignSpec};
+use rlckit_campaign::solo_campaign;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rlckit-bench-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn supervised(exe: &str, spec: &CampaignSpec, shards: usize, dir: &PathBuf, out: &PathBuf) {
+    let status = Command::new(exe)
+        .args(["run", "--node", spec.node.name()])
+        .args(["--points", &spec.points.to_string()])
+        .args(["--shards", &shards.to_string()])
+        .arg("--dir")
+        .arg(dir)
+        .arg("--out")
+        .arg(out)
+        .env_remove("RLCKIT_SHARD_FAULTS")
+        .env_remove("RLCKIT_TRACE")
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn rlckit-campaign");
+    assert!(status.success(), "supervised run failed");
+}
+
+fn main() {
+    let mut h = Harness::from_args("campaign");
+    let spec = CampaignSpec {
+        node: CampaignNode::Nm100,
+        points: 25,
+    };
+    let exe = env!("CARGO_BIN_EXE_rlckit-campaign");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let opts = BenchOptions::with_samples(5);
+
+    let solo_dir = fresh_dir("solo");
+    h.bench_with("solo_100nm_25", &opts, || {
+        let _ = std::fs::remove_dir_all(&solo_dir);
+        solo_campaign(&spec, &solo_dir).expect("solo campaign")
+    });
+    h.annotate("solo_100nm_25", &[("points", spec.points as f64)]);
+
+    for shards in [1usize, 2, 3] {
+        let name = format!("supervised_{shards}_shards");
+        let dir = fresh_dir(&name);
+        let out = dir.with_extension("csv");
+        h.bench_with(&name, &opts, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            supervised(exe, &spec, shards, &dir, &out);
+        });
+        h.annotate(&name, &[("shards", shards as f64), ("cores", cores as f64)]);
+        h.record_speedup(
+            &format!("shard_scaling_{shards}"),
+            "solo_100nm_25",
+            &name,
+            &[("shards", shards as f64), ("cores", cores as f64)],
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&out);
+    }
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    h.finish();
+}

@@ -1,0 +1,326 @@
+//! The multi-process campaign supervisor.
+//!
+//! `run --shards n` launches one `rlckit-campaign shard` child per
+//! shard and babysits them to completion:
+//!
+//! * **Heartbeats are progress, not liveness.** A shard flushes its
+//!   checkpoint after every point, so the supervisor watches the file
+//!   for growth. A child that is alive but not appending (an injected
+//!   hang, a wedged solve) trips the stall timeout and is killed — a
+//!   responsive-looking PID is not evidence of work.
+//! * **Crashes are relaunched with backoff.** Each death schedules a
+//!   relaunch at `backoff_base × 2^(relaunches−1)` (capped), tracked
+//!   per shard as a deadline so one shard's backoff never blocks
+//!   polling the others. The relaunch generation is passed to the
+//!   child, which keys the `RLCKIT_SHARD_FAULTS` schedule on it — so
+//!   an injected crash loop converges instead of re-killing the same
+//!   point forever.
+//! * **The restart budget bounds the tantrum.** A shard that dies more
+//!   than `restart_budget` times is *degraded*: its checkpoint is
+//!   merged leniently and its unreached points become explicit
+//!   `failed` rows, so the campaign always terminates with a complete
+//!   (if honest about its holes) CSV.
+//!
+//! Every lifecycle step lands in the flight recorder:
+//! `campaign.shard.{launched,relaunched,stalled,completed,degraded}`
+//! counters plus one [`EventKind::Outcome`] event per step with
+//! `trace_id = shard` and `value = generation`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rlckit_trace::events::EventKind;
+use rlckit_trace::{counter, event};
+
+use crate::grid::{shard_file_name, CampaignSpec};
+use crate::merge::{merge_shards, render_csv, MergeError};
+
+/// Supervision knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Number of shard processes.
+    pub shards: usize,
+    /// Relaunches allowed per shard before it is degraded.
+    pub restart_budget: u32,
+    /// How long a live child may go without growing its checkpoint
+    /// before it is declared hung and killed.
+    pub stall_timeout: Duration,
+    /// First relaunch delay; doubles per relaunch of the same shard.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Supervisor poll cadence.
+    pub poll_interval: Duration,
+}
+
+impl SupervisorConfig {
+    /// Defaults for `shards` shard processes.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            restart_budget: 5,
+            stall_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+
+    fn backoff(&self, relaunches: u32) -> Duration {
+        let doublings = relaunches.saturating_sub(1).min(20);
+        self.backoff_base
+            .saturating_mul(1 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+/// One shard's fate, as reported by [`supervise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Relaunches spent (0 = the first launch sufficed).
+    pub relaunches: u32,
+    /// Whether the shard exhausted its restart budget.
+    pub degraded: bool,
+}
+
+/// A completed supervised campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The merged canonical CSV.
+    pub csv: String,
+    /// Per-shard fates.
+    pub shards: Vec<ShardStatus>,
+    /// Grid points recorded as failed because a degraded shard never
+    /// reached them.
+    pub unreached: usize,
+}
+
+/// Why a supervised run failed outright (degradation is not failure).
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// A child could not be spawned at all (bad executable path).
+    Spawn(String),
+    /// The final merge refused the shard files.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Spawn(detail) => write!(f, "cannot spawn shard process: {detail}"),
+            Self::Merge(e) => write!(f, "merge after supervision failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl From<MergeError> for SuperviseError {
+    fn from(e: MergeError) -> Self {
+        Self::Merge(e)
+    }
+}
+
+struct Slot {
+    shard: usize,
+    checkpoint: PathBuf,
+    child: Option<Child>,
+    relaunches: u32,
+    restart_at: Option<Instant>,
+    last_len: u64,
+    last_progress: Instant,
+    done: bool,
+    degraded: bool,
+}
+
+impl Slot {
+    fn finished(&self) -> bool {
+        self.done || self.degraded
+    }
+}
+
+fn spawn_shard(
+    exe: &Path,
+    spec: &CampaignSpec,
+    dir: &Path,
+    shard: usize,
+    of: usize,
+    generation: u32,
+) -> Result<Child, SuperviseError> {
+    Command::new(exe)
+        .arg("shard")
+        .args(["--node", spec.node.name()])
+        .args(["--points", &spec.points.to_string()])
+        .args(["--index", &shard.to_string()])
+        .args(["--of", &of.to_string()])
+        .args(["--generation", &generation.to_string()])
+        .arg("--dir")
+        .arg(dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| SuperviseError::Spawn(format!("{}: {e}", exe.display())))
+}
+
+/// Supervises `cfg.shards` child processes of `exe` (the
+/// `rlckit-campaign` binary itself) to a complete merged campaign.
+///
+/// # Errors
+///
+/// [`SuperviseError::Spawn`] if children cannot be started at all;
+/// [`SuperviseError::Merge`] if a shard that claimed success left a
+/// file the strict merge refuses.
+pub fn supervise(
+    exe: &Path,
+    spec: &CampaignSpec,
+    dir: &Path,
+    cfg: &SupervisorConfig,
+) -> Result<CampaignRun, SuperviseError> {
+    assert!(cfg.shards > 0, "need at least one shard");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SuperviseError::Spawn(format!("campaign dir {}: {e}", dir.display())))?;
+    let of = cfg.shards;
+    let mut slots: Vec<Slot> = (0..of)
+        .map(|shard| Slot {
+            shard,
+            checkpoint: dir.join(shard_file_name(shard, of)),
+            child: None,
+            relaunches: 0,
+            restart_at: None,
+            last_len: 0,
+            last_progress: Instant::now(),
+            done: false,
+            degraded: false,
+        })
+        .collect();
+
+    for slot in &mut slots {
+        let child = spawn_shard(exe, spec, dir, slot.shard, of, 0)?;
+        counter!("campaign.shard.launched").incr();
+        event!(slot.shard as u64, "campaign.shard.launched", EventKind::Outcome, 0);
+        slot.child = Some(child);
+        slot.last_progress = Instant::now();
+    }
+
+    while slots.iter().any(|s| !s.finished()) {
+        for slot in &mut slots {
+            if slot.finished() {
+                continue;
+            }
+            let generation = slot.relaunches;
+            match &mut slot.child {
+                Some(child) => match child.try_wait() {
+                    Ok(Some(status)) => {
+                        slot.child = None;
+                        if status.success() {
+                            slot.done = true;
+                            counter!("campaign.shard.completed").incr();
+                            event!(
+                                slot.shard as u64,
+                                "campaign.shard.completed",
+                                EventKind::Outcome,
+                                u64::from(generation)
+                            );
+                        } else {
+                            on_death(slot, cfg);
+                        }
+                    }
+                    Ok(None) => {
+                        // Alive: require checkpoint movement within the
+                        // stall window. Any size change counts — a
+                        // relaunch rewrites (and briefly shrinks) the
+                        // file before growing it again.
+                        let len = std::fs::metadata(&slot.checkpoint)
+                            .map(|m| m.len())
+                            .unwrap_or(0);
+                        if len != slot.last_len {
+                            slot.last_len = len;
+                            slot.last_progress = Instant::now();
+                        } else if slot.last_progress.elapsed() > cfg.stall_timeout {
+                            counter!("campaign.shard.stalled").incr();
+                            event!(
+                                slot.shard as u64,
+                                "campaign.shard.stalled",
+                                EventKind::Outcome,
+                                u64::from(generation)
+                            );
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            slot.child = None;
+                            on_death(slot, cfg);
+                        }
+                    }
+                    Err(_) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        slot.child = None;
+                        on_death(slot, cfg);
+                    }
+                },
+                None => {
+                    if slot.restart_at.is_some_and(|at| Instant::now() >= at) {
+                        slot.restart_at = None;
+                        match spawn_shard(exe, spec, dir, slot.shard, of, slot.relaunches) {
+                            Ok(child) => {
+                                counter!("campaign.shard.relaunched").incr();
+                                event!(
+                                    slot.shard as u64,
+                                    "campaign.shard.relaunched",
+                                    EventKind::Outcome,
+                                    u64::from(slot.relaunches)
+                                );
+                                slot.child = Some(child);
+                                slot.last_progress = Instant::now();
+                            }
+                            Err(_) => on_death(slot, cfg),
+                        }
+                    }
+                }
+            }
+        }
+        if slots.iter().any(|s| !s.finished()) {
+            std::thread::sleep(cfg.poll_interval);
+        }
+    }
+
+    let degraded: BTreeSet<usize> = slots
+        .iter()
+        .filter(|s| s.degraded)
+        .map(|s| s.shard)
+        .collect();
+    let merged = merge_shards(spec, dir, of, &degraded)?;
+    Ok(CampaignRun {
+        csv: render_csv(spec, &merged),
+        unreached: merged.unreached,
+        shards: slots
+            .iter()
+            .map(|s| ShardStatus {
+                shard: s.shard,
+                relaunches: s.relaunches,
+                degraded: s.degraded,
+            })
+            .collect(),
+    })
+}
+
+fn on_death(slot: &mut Slot, cfg: &SupervisorConfig) {
+    if slot.relaunches >= cfg.restart_budget {
+        slot.degraded = true;
+        counter!("campaign.shard.degraded").incr();
+        event!(
+            slot.shard as u64,
+            "campaign.shard.degraded",
+            EventKind::Outcome,
+            u64::from(slot.relaunches)
+        );
+    } else {
+        slot.relaunches += 1;
+        slot.restart_at = Some(Instant::now() + cfg.backoff(slot.relaunches));
+    }
+}

@@ -1,0 +1,299 @@
+//! Merge validation: every way a shard file can deviate from what the
+//! shard runner writes must map to a structured [`MergeError`] — and
+//! no corruption may ever *silently* change the merged CSV.
+//!
+//! The seeded multi-shard smudge property extends the single-file
+//! checkpoint-mangling fuzz of `rlckit`'s checkpoint tests to the full
+//! merge: any byte of any shard file overwritten with any value either
+//! leaves the merged bytes identical (the smudge was a no-op) or is
+//! refused outright.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rlckit_campaign::grid::{
+    shard_file_name, shard_of_point, CampaignNode, CampaignSpec,
+};
+use rlckit_campaign::merge::{
+    encode_record, merge_shards, read_shard_strict, render_csv, MergeError, OutcomeTag,
+    PointRecord,
+};
+use rlckit_campaign::shard::run_shard;
+
+const OF: usize = 3;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        node: CampaignNode::Nm100,
+        points: 7,
+    }
+}
+
+/// Computes the 3-shard campaign once per process (tests run on
+/// parallel threads and must not race the shard writes), returning its
+/// directory and clean merged CSV.
+fn baseline() -> &'static (PathBuf, String) {
+    static BASE: std::sync::OnceLock<(PathBuf, String)> = std::sync::OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("rlckit-merge-validation-base-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = spec();
+        for shard in 0..OF {
+            run_shard(&spec, shard, OF, &dir, 0).expect("shard run");
+        }
+        let merged = merge_shards(&spec, &dir, OF, &BTreeSet::new()).expect("clean merge");
+        let csv = render_csv(&spec, &merged);
+        (dir, csv)
+    })
+}
+
+/// Copies the baseline shard files into a fresh directory the test can
+/// corrupt freely.
+fn scratch_copy(base: &Path, tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "rlckit-merge-validation-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    for shard in 0..OF {
+        let name = shard_file_name(shard, OF);
+        fs::copy(base.join(&name), dir.join(&name)).expect("copy shard file");
+    }
+    dir
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(shard_file_name(shard, OF))
+}
+
+fn merge(dir: &Path) -> Result<String, MergeError> {
+    let spec = spec();
+    merge_shards(&spec, dir, OF, &BTreeSet::new()).map(|m| render_csv(&spec, &m))
+}
+
+/// A shard index guaranteed to own at least one point (7 points over 3
+/// shards: some shard could be empty, so find a populated one).
+fn populated_shard(dir: &Path) -> (usize, Vec<String>) {
+    for shard in 0..OF {
+        let text = fs::read_to_string(shard_path(dir, shard)).expect("read shard");
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        if lines.len() > 1 {
+            return (shard, lines);
+        }
+    }
+    panic!("no shard owns any point");
+}
+
+#[test]
+fn missing_shard_file_is_an_io_error() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "missing-file");
+    fs::remove_file(shard_path(&dir, 1)).unwrap();
+    assert!(matches!(merge(&dir), Err(MergeError::Io { shard: 1, .. })));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mangled_header_is_rejected() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "mangled-header");
+    let path = shard_path(&dir, 0);
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, text.replacen("\"header\"", "\"headxr\"", 1)).unwrap();
+    assert_eq!(merge(&dir), Err(MergeError::MangledHeader { shard: 0 }));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swapped_shard_files_are_a_fingerprint_mismatch() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "swapped");
+    // Shard 0's file placed in shard 1's slot (and vice versa): same
+    // campaign, wrong slot — the shard-identity fingerprint catches it.
+    let a = fs::read(shard_path(&dir, 0)).unwrap();
+    let b = fs::read(shard_path(&dir, 1)).unwrap();
+    fs::write(shard_path(&dir, 0), b).unwrap();
+    fs::write(shard_path(&dir, 1), a).unwrap();
+    assert!(matches!(
+        merge(&dir),
+        Err(MergeError::FingerprintMismatch { shard: 0, .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_campaign_file_is_a_fingerprint_mismatch() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "foreign-campaign");
+    // A shard of a *different* campaign (other grid size) in slot 2.
+    let other = CampaignSpec {
+        node: CampaignNode::Nm100,
+        points: 5,
+    };
+    let mut other_dir = std::env::temp_dir();
+    other_dir.push(format!("rlckit-merge-validation-other-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&other_dir);
+    run_shard(&other, 2, OF, &other_dir, 0).expect("other campaign shard");
+    fs::copy(other_dir.join(shard_file_name(2, OF)), shard_path(&dir, 2)).unwrap();
+    assert!(matches!(
+        merge(&dir),
+        Err(MergeError::FingerprintMismatch { shard: 2, .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&other_dir);
+}
+
+#[test]
+fn mangled_point_line_is_rejected_with_its_line_number() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "mangled-line");
+    let (shard, mut lines) = populated_shard(&dir);
+    lines[1] = lines[1].replacen("\"point\"", "\"paint\"", 1);
+    fs::write(shard_path(&dir, shard), lines.join("\n") + "\n").unwrap();
+    assert_eq!(merge(&dir), Err(MergeError::MangledLine { shard, line: 2 }));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn value_preserving_hex_smudge_is_a_corrupt_record() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "hex-smudge");
+    let (shard, mut lines) = populated_shard(&dir);
+    // Flip one hex digit inside a words entry: the line still parses
+    // as valid checkpoint JSONL, but the record checksum catches it.
+    let line = lines[1].clone();
+    let hex_pos = line.find("0x").expect("hex word") + 5;
+    let mut bytes = line.into_bytes();
+    bytes[hex_pos] = if bytes[hex_pos] == b'f' { b'0' } else { b'f' };
+    lines[1] = String::from_utf8(bytes).unwrap();
+    fs::write(shard_path(&dir, shard), lines.join("\n") + "\n").unwrap();
+    assert!(matches!(
+        merge(&dir),
+        Err(MergeError::CorruptRecord { shard: s, .. }) if s == shard
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicated_point_line_is_rejected() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "duplicate");
+    let (shard, mut lines) = populated_shard(&dir);
+    let dup = lines[1].clone();
+    lines.push(dup);
+    fs::write(shard_path(&dir, shard), lines.join("\n") + "\n").unwrap();
+    assert!(matches!(
+        merge(&dir),
+        Err(MergeError::DuplicatePoint { shard: s, .. }) if s == shard
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checksummed_record_for_someone_elses_point_is_foreign() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "foreign-point");
+    let spec = spec();
+    let fp = spec.fingerprint();
+    let (shard, mut lines) = populated_shard(&dir);
+    let foreign_index = (0..spec.points)
+        .find(|&i| shard_of_point(fp, i, OF) != shard)
+        .expect("some point belongs elsewhere");
+    // A perfectly well-formed, correctly checksummed record — just for
+    // a point the split assigns to a different shard.
+    let words = encode_record(
+        foreign_index,
+        &PointRecord {
+            tag: OutcomeTag::Failed,
+            attempts: 1,
+            point: None,
+        },
+    );
+    let mut line = format!("{{\"type\":\"point\",\"index\":{foreign_index},\"words\":[");
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{w:#018x}\""));
+    }
+    line.push_str("]}");
+    lines.push(line);
+    fs::write(shard_path(&dir, shard), lines.join("\n") + "\n").unwrap();
+    assert_eq!(
+        merge(&dir),
+        Err(MergeError::ForeignPoint {
+            shard,
+            index: foreign_index
+        })
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_point_line_is_a_missing_point() {
+    let (base, _) = baseline();
+    let dir = scratch_copy(base, "missing-point");
+    let (shard, mut lines) = populated_shard(&dir);
+    lines.remove(1);
+    fs::write(shard_path(&dir, shard), lines.join("\n") + "\n").unwrap();
+    assert!(matches!(
+        merge(&dir),
+        Err(MergeError::MissingPoint { shard: s, .. }) if s == shard
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_shard_strict_accepts_exactly_what_the_runner_wrote() {
+    let (base, csv) = baseline();
+    let spec = spec();
+    let mut total = 0;
+    for shard in 0..OF {
+        total += read_shard_strict(&spec, base, shard, OF)
+            .expect("pristine shard")
+            .len();
+    }
+    assert_eq!(total, spec.points);
+    assert_eq!(csv.lines().count(), spec.points + 1);
+}
+
+/// The multi-shard smudge fuzz: overwrite one random byte of one
+/// random shard file with one random value. The strict merge must
+/// never panic, and must never *accept* bytes that change the merged
+/// CSV — every outcome is either "identical bytes" (the smudge was a
+/// no-op, e.g. hit the tolerated trailing newline) or a structured
+/// refusal.
+#[test]
+fn random_single_byte_smudges_never_silently_change_the_merge() {
+    let (base, clean) = baseline();
+    let dir = scratch_copy(base, "smudge-fuzz");
+    rlckit_check::Check::new().cases(120).seed(0x5A5A).run(
+        &rlckit_check::gen::tuple3(
+            rlckit_check::gen::usize_range(0, OF - 1),
+            rlckit_check::gen::usize_range(0, 1 << 20),
+            rlckit_check::gen::usize_range(0, 255),
+        ),
+        |&(shard, offset, byte)| {
+            let path = shard_path(&dir, shard);
+            let pristine = fs::read(&path).expect("read shard");
+            let mut mutated = pristine.clone();
+            let at = offset % mutated.len();
+            mutated[at] = byte as u8;
+            fs::write(&path, &mutated).expect("write smudged shard");
+            let verdict = merge(&dir);
+            fs::write(&path, &pristine).expect("restore shard");
+            if let Ok(csv) = verdict {
+                assert_eq!(
+                    &csv, clean,
+                    "smudge (shard {shard}, offset {at}, byte {byte:#04x}) \
+                     changed the merged CSV without being refused"
+                );
+            }
+        },
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

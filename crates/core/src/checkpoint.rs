@@ -111,7 +111,13 @@ fn split_field(body: &str, start: usize, colon: usize, end: usize) -> Option<(&s
 /// Parses a header line; returns `(version, fingerprint)`. Strict: the
 /// line must carry exactly the `type`/`version`/`fingerprint` fields,
 /// each once — unknown or duplicated fields reject the whole line.
-fn parse_header_line(line: &str) -> Option<(u32, u64)> {
+///
+/// Public for consumers that read checkpoint-format files *strictly*
+/// (the `rlckit-campaign` merge refuses a shard file whose lines this
+/// parser rejects, instead of silently dropping them the way resume
+/// does).
+#[must_use]
+pub fn parse_header_line(line: &str) -> Option<(u32, u64)> {
     let mut ty = None;
     let mut version = None;
     let mut fingerprint = None;
@@ -138,7 +144,10 @@ fn parse_header_line(line: &str) -> Option<(u32, u64)> {
 /// truncated line — e.g. a torn final write — yields `None`. Strict in
 /// the same way as [`parse_header_line`]: exactly the
 /// `type`/`index`/`words` fields, each once.
-fn parse_point_line(line: &str) -> Option<(usize, Vec<u64>)> {
+///
+/// Public for the same strict readers as [`parse_header_line`].
+#[must_use]
+pub fn parse_point_line(line: &str) -> Option<(usize, Vec<u64>)> {
     let mut ty = None;
     let mut index = None;
     let mut words = None;

@@ -97,7 +97,7 @@ pub mod prelude {
     pub use crate::outcome::{run_point, PointOutcome, Solved};
     pub use crate::sweeps::{
         inductance_sweep, inductance_sweep_checkpointed, inductance_sweep_outcomes,
-        standard_node_sweep_resumable, SweepPoint,
+        standard_node_sweep_resumable, sweep_point_outcome, SweepPoint,
     };
     pub use rlckit_tech::{DriverParams, LineParams, TechNode};
     pub use rlckit_tline::{Damping, DriverInterconnectLoad, LineRlc, TwoPole};

@@ -233,6 +233,38 @@ fn sweep_column_outcomes(
     outcomes
 }
 
+/// Solves one sweep point on the scalar path, under the point's own
+/// deterministic fault scope.
+///
+/// `index` must be the point's **original grid index** — fault-injection
+/// decisions and retry perturbations key off it, which is what makes a
+/// point's bits independent of which process, shard, or resume attempt
+/// computes it. This is the unit of work of the sharded multi-process
+/// campaign driver (`rlckit-campaign`): a shard computing its slice
+/// point by point through this function produces bits identical to a
+/// single process walking the whole grid.
+pub fn sweep_point_outcome(
+    line: &LineParams,
+    driver: &DriverParams,
+    rc: &RcOptimum,
+    index: usize,
+    inductance: HenriesPerMeter,
+    options: OptimizerOptions,
+    policy: &RetryPolicy,
+) -> PointOutcome<SweepPoint> {
+    let _span = span!("sweep.point");
+    counter!("sweeps.points").incr();
+    let rlc_line = LineRlc::new(line.resistance, inductance, line.capacitance);
+    let outcome = run_point(index as u64, policy, || {
+        let opt = optimize_rlc_with_retry(&rlc_line, driver, options, policy)?;
+        sweep_point_solved(&rlc_line, driver, rc, options, opt)
+    });
+    if outcome.is_failed() {
+        counter!("sweeps.no_convergence").incr();
+    }
+    outcome
+}
+
 /// Fingerprints a sweep campaign's inputs (all as exact bit patterns)
 /// for checkpoint headers.
 #[must_use]
@@ -258,7 +290,10 @@ pub fn campaign_fingerprint(
     fingerprint64(words)
 }
 
-fn encode_sweep_point(p: &SweepPoint) -> Vec<u64> {
+/// Encodes a [`SweepPoint`] as exact `u64` bit patterns for checkpoint
+/// and shard files (inverse of [`decode_sweep_point`]).
+#[must_use]
+pub fn encode_sweep_point(p: &SweepPoint) -> Vec<u64> {
     vec![
         p.inductance.get().to_bits(),
         p.h_opt.to_bits(),
@@ -276,7 +311,11 @@ fn encode_sweep_point(p: &SweepPoint) -> Vec<u64> {
     ]
 }
 
-fn decode_sweep_point(words: &[u64]) -> Option<SweepPoint> {
+/// Decodes the exact bit patterns written by [`encode_sweep_point`];
+/// `None` for any word count or damping tag that could not have been
+/// produced by the encoder.
+#[must_use]
+pub fn decode_sweep_point(words: &[u64]) -> Option<SweepPoint> {
     if words.len() != 9 {
         return None;
     }

@@ -336,6 +336,111 @@ macro_rules! faultpoint {
     }};
 }
 
+/// Process-level shard fault injection (`RLCKIT_SHARD_FAULTS`).
+///
+/// Where [`faultpoint!`] injects *solver* faults that the in-process
+/// retry ladder absorbs, this module describes faults that kill (or
+/// hang) a whole **shard process** of a multi-process campaign, so a
+/// supervisor's detect/relaunch/resume path can be exercised
+/// deterministically. The module is pure decision logic: it parses the
+/// spec and answers "does shard generation `g` die at point `i`?" —
+/// actually aborting or hanging is the shard runner's job
+/// (`rlckit-campaign`), which keeps this crate side-effect-free and the
+/// decisions unit-testable.
+///
+/// # Environment
+///
+/// `RLCKIT_SHARD_FAULTS=<seed>:<rate>[:<mode>]` with `seed`/`rate` as
+/// in `RLCKIT_FAULTS` and `mode` either `abort` (default — the shard
+/// process dies before computing the chosen point) or `hang` (the
+/// shard stalls forever at it, exercising the supervisor's
+/// progress-stall timeout instead of its death detection).
+///
+/// # Determinism
+///
+/// The decision depends only on `(seed, generation, point index)`. The
+/// generation (0 for the first launch, incremented by the supervisor on
+/// each relaunch) is part of the key so a relaunched shard does not die
+/// at the same point forever: with `rate < 1` every shard eventually
+/// gets a clean generation, and the whole kill schedule — which shards
+/// die, where, and how many relaunches each needs — replays exactly
+/// given the same seed.
+pub mod shard {
+    use std::sync::OnceLock;
+
+    /// What a triggered shard fault does to the process.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ShardFaultMode {
+        /// The shard process aborts (simulating a crash / SIGKILL).
+        Abort,
+        /// The shard process stops making progress but stays alive.
+        Hang,
+    }
+
+    /// A parsed `RLCKIT_SHARD_FAULTS` spec.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct ShardFaultSpec {
+        /// Seed of the kill schedule.
+        pub seed: u64,
+        /// Fraction of `(generation, point)` slots that fault.
+        pub rate: f64,
+        /// What a triggered fault does.
+        pub mode: ShardFaultMode,
+    }
+
+    /// Parses `<seed>:<rate>[:abort|hang]`.
+    #[must_use]
+    pub fn parse_shard_spec(raw: &str) -> Option<ShardFaultSpec> {
+        let mut parts = raw.splitn(3, ':');
+        let seed_str = parts.next()?;
+        let rate_str = parts.next()?;
+        let (seed, rate) = super::parse_spec(&format!("{seed_str}:{rate_str}"))?;
+        let mode = match parts.next().map(str::trim) {
+            None => ShardFaultMode::Abort,
+            Some("abort") => ShardFaultMode::Abort,
+            Some("hang") => ShardFaultMode::Hang,
+            Some(_) => return None,
+        };
+        Some(ShardFaultSpec { seed, rate, mode })
+    }
+
+    /// The `RLCKIT_SHARD_FAULTS` spec, read once per process. A
+    /// malformed value disarms shard faults (fail-safe) with a single
+    /// stderr warning, mirroring `RLCKIT_FAULTS`.
+    #[must_use]
+    pub fn env_spec() -> Option<ShardFaultSpec> {
+        static CONFIG: OnceLock<Option<ShardFaultSpec>> = OnceLock::new();
+        *CONFIG.get_or_init(|| {
+            let raw = std::env::var("RLCKIT_SHARD_FAULTS").ok()?;
+            match parse_shard_spec(&raw) {
+                Some(spec) => Some(spec),
+                None => {
+                    eprintln!(
+                        "rlckit-fault: ignoring malformed RLCKIT_SHARD_FAULTS={raw:?} \
+                         (want <seed>:<rate>[:abort|hang]); shard faults stay disarmed"
+                    );
+                    None
+                }
+            }
+        })
+    }
+
+    /// Whether shard generation `generation` faults at grid point
+    /// `point_index`. Pure in `(spec, generation, point_index)`: every
+    /// process — shard, supervisor, or test — computes the same kill
+    /// schedule.
+    #[must_use]
+    pub fn should_fault(spec: &ShardFaultSpec, generation: u32, point_index: u64) -> bool {
+        if spec.rate <= 0.0 {
+            return false;
+        }
+        let h = super::mix(super::mix(super::mix(spec.seed) ^ u64::from(generation)) ^ point_index);
+        // 53 uniform mantissa bits, as in the in-scope fault plan.
+        let uniform = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        uniform < spec.rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +585,61 @@ mod tests {
             // The ambient scope is untouched by the lane swaps.
             assert!(!poisoned());
         });
+    }
+
+    #[test]
+    fn shard_spec_parses_modes_and_rejects_garbage() {
+        use shard::{parse_shard_spec, ShardFaultMode, ShardFaultSpec};
+        assert_eq!(
+            parse_shard_spec("42:0.25"),
+            Some(ShardFaultSpec {
+                seed: 42,
+                rate: 0.25,
+                mode: ShardFaultMode::Abort
+            })
+        );
+        assert_eq!(
+            parse_shard_spec("0xFF:1:hang"),
+            Some(ShardFaultSpec {
+                seed: 255,
+                rate: 1.0,
+                mode: ShardFaultMode::Hang
+            })
+        );
+        assert_eq!(
+            parse_shard_spec("7:0.5:abort").map(|s| s.mode),
+            Some(ShardFaultMode::Abort)
+        );
+        for bad in ["", "42", "42:1.5", "42:0.5:explode", "x:0.5", "42:0.5:hang:extra"] {
+            assert_eq!(parse_shard_spec(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_fault_schedule_is_deterministic_rate_bounded_and_generation_keyed() {
+        use shard::{should_fault, ShardFaultMode, ShardFaultSpec};
+        let spec = ShardFaultSpec {
+            seed: 77,
+            rate: 0.3,
+            mode: ShardFaultMode::Abort,
+        };
+        let gen0: Vec<bool> = (0..1000).map(|i| should_fault(&spec, 0, i)).collect();
+        assert_eq!(
+            gen0,
+            (0..1000).map(|i| should_fault(&spec, 0, i)).collect::<Vec<_>>()
+        );
+        let faulted = gen0.iter().filter(|&&f| f).count();
+        assert!((200..400).contains(&faulted), "{faulted} faulted slots");
+        // The relaunch generation is part of the key: a shard that died
+        // at point i in generation 0 does not deterministically die
+        // there again in generation 1.
+        let gen1: Vec<bool> = (0..1000).map(|i| should_fault(&spec, 1, i)).collect();
+        assert_ne!(gen0, gen1, "generations must have independent kill schedules");
+        // Rate bounds.
+        let always = ShardFaultSpec { rate: 1.0, ..spec };
+        let never = ShardFaultSpec { rate: 0.0, ..spec };
+        assert!((0..100).all(|i| should_fault(&always, 0, i)));
+        assert!((0..100).all(|i| !should_fault(&never, 0, i)));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `lcrit` queries over stdin/stdout JSONL or a localhost TCP socket.
 //!
 //! ```text
-//! rlckit-serve [--stdin | --tcp ADDR]
+//! rlckit-serve [--stdin | --tcp ADDR] [--idle-timeout-secs N]
 //!              [--workers N] [--queue-depth N] [--shard-capacity N]
 //!              [--warm-grid POINTS] [--snapshot PATH]
 //!              [--trace-events PATH] [--trace-flush-secs N]
@@ -25,6 +25,15 @@
 //! seconds, so a long-lived daemon's metrics reach the `RLCKIT_TRACE`
 //! sink (use the `jsonl+:` append sink to keep every period) without
 //! waiting for exit.
+//!
+//! # Idle clients
+//!
+//! TCP connections are served sequentially, so a client that connects
+//! and then goes silent would wedge the accept loop forever.
+//! `--idle-timeout-secs N` (default 0 = never) arms a socket read
+//! timeout: a connection idle for `N` seconds is answered with one
+//! final `"ok":false` line, tallied in the `serve.timeouts` counter,
+//! and closed — the loop moves on to the next client.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +47,7 @@ use rlckit_serve::{ServeConfig, Server};
 
 struct Args {
     tcp: Option<String>,
+    idle_timeout_secs: u64,
     config: ServeConfig,
     warm_grid: usize,
     snapshot: Option<std::path::PathBuf>,
@@ -46,14 +56,15 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: rlckit-serve [--stdin | --tcp ADDR] [--workers N] [--queue-depth N] \
-     [--shard-capacity N] [--warm-grid POINTS] [--snapshot PATH] \
-     [--trace-events PATH] [--trace-flush-secs N]"
+    "usage: rlckit-serve [--stdin | --tcp ADDR] [--idle-timeout-secs N] \
+     [--workers N] [--queue-depth N] [--shard-capacity N] [--warm-grid POINTS] \
+     [--snapshot PATH] [--trace-events PATH] [--trace-flush-secs N]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         tcp: None,
+        idle_timeout_secs: 0,
         config: ServeConfig::default(),
         warm_grid: 0,
         snapshot: None,
@@ -68,6 +79,11 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--stdin" => args.tcp = None,
             "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--idle-timeout-secs" => {
+                args.idle_timeout_secs = value("--idle-timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-secs: {e}"))?;
+            }
             "--workers" => {
                 args.config.workers = value("--workers")?
                     .parse()
@@ -213,13 +229,21 @@ fn run() -> std::io::Result<ExitCode> {
             for stream in listener.incoming() {
                 let stream = stream?;
                 let peer = stream.peer_addr()?;
+                if args.idle_timeout_secs > 0 {
+                    // Clones share the socket, so the reader side
+                    // inherits the timeout; the engine turns the
+                    // resulting WouldBlock into a clean close.
+                    stream.set_read_timeout(Some(Duration::from_secs(args.idle_timeout_secs)))?;
+                }
                 let reader = BufReader::new(stream.try_clone()?);
                 // Connections are served sequentially: the memo warms
                 // across them, and each gets the whole pool.
                 match server.serve(reader, stream) {
                     Ok(summary) => eprintln!(
-                        "rlckit-serve: {peer} closed after {} requests ({} hits)",
-                        summary.requests, summary.hits
+                        "rlckit-serve: {peer} closed after {} requests ({} hits{})",
+                        summary.requests,
+                        summary.hits,
+                        if summary.timed_out { ", idle timeout" } else { "" }
                     ),
                     Err(e) => eprintln!("rlckit-serve: connection {peer}: {e}"),
                 }

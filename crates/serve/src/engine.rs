@@ -127,6 +127,10 @@ pub struct ServeSummary {
     /// Malformed requests plus failed solves (each still got an error
     /// response).
     pub errors: u64,
+    /// Whether the session ended because the reader hit its idle read
+    /// timeout (the connection was closed cleanly with a final error
+    /// response) rather than end-of-input.
+    pub timed_out: bool,
 }
 
 /// The server-lifetime log of the slowest requests, worst first, ties
@@ -235,7 +239,13 @@ impl Server {
     /// Propagates I/O failures of the reader or writer. Malformed
     /// requests and failed solves are *not* errors here — they get
     /// error response lines and are tallied in
-    /// [`ServeSummary::errors`].
+    /// [`ServeSummary::errors`]. Neither is an idle read timeout
+    /// ([`std::io::ErrorKind::WouldBlock`] / `TimedOut` from a reader
+    /// over a socket with a read timeout, see the `rlckit-serve`
+    /// `--idle-timeout-secs` flag): the session ends *cleanly* with a
+    /// final `"ok":false` response, a `serve.timeouts` counter tick,
+    /// and [`ServeSummary::timed_out`] set — so one stalled client can
+    /// never wedge the daemon's sequential accept loop.
     ///
     /// # Panics
     ///
@@ -327,9 +337,35 @@ impl Server {
 
             let mut seq = 0u64;
             let mut parse_errors = 0u64;
+            let mut timed_out = false;
             let router = (|| -> std::io::Result<()> {
                 for line in reader.lines() {
-                    let line = line?;
+                    let line = match line {
+                        Ok(line) => line,
+                        // An idle client (read timeout armed by the
+                        // daemon) ends the session cleanly: tell the
+                        // client why, then fall through to the normal
+                        // drain-and-close path.
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            counter!("serve.timeouts").incr();
+                            timed_out = true;
+                            let trace_id = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send((
+                                seq,
+                                trace_id,
+                                None,
+                                response_error(None, "idle timeout: closing connection"),
+                            ));
+                            seq += 1;
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e),
+                    };
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -425,10 +461,13 @@ impl Server {
             let writer_result = writer_handle.join().expect("writer thread panicked");
             router.and(writer_result)?;
             Ok(ServeSummary {
-                requests: seq,
+                // The timeout notice occupies a writer slot but is not
+                // a consumed request line.
+                requests: seq - u64::from(timed_out),
                 hits: hits.load(Ordering::SeqCst),
                 misses: misses.load(Ordering::SeqCst),
                 errors: parse_errors + solve_errors.load(Ordering::SeqCst),
+                timed_out,
             })
         })
     }
@@ -544,6 +583,64 @@ mod tests {
         assert_eq!(summary.misses, 1);
         assert_eq!(summary.hits, 2);
         assert_eq!(summary.errors, 0);
+    }
+
+    /// A reader that yields some bytes, then fails every further read
+    /// with `WouldBlock` — exactly what a `BufReader` over a TCP
+    /// stream with a read timeout produces when the client stalls
+    /// mid-session.
+    struct StallingReader {
+        data: &'static [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn idle_read_timeout_closes_the_session_cleanly() {
+        let server = Server::new(ServeConfig::default());
+        let reader = std::io::BufReader::new(StallingReader {
+            data: b"{\"id\":1,\"op\":\"optimum\",\"node\":\"100nm\",\"l_nh_mm\":1.8}\n",
+            pos: 0,
+        });
+        let mut out = Vec::new();
+        let summary = server
+            .serve(reader, &mut out)
+            .expect("an idle timeout must not surface as an I/O error");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        // The request before the stall was answered normally...
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        // ...and the stalled client got a clean goodbye, not a cut wire.
+        assert!(lines[1].contains("\"ok\":false"), "{}", lines[1]);
+        assert!(lines[1].contains("idle timeout"), "{}", lines[1]);
+        assert!(summary.timed_out);
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn non_timeout_reader_errors_still_propagate() {
+        let server = Server::new(ServeConfig::default());
+        struct BrokenReader;
+        impl std::io::Read for BrokenReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::ConnectionReset.into())
+            }
+        }
+        let result = server.serve(std::io::BufReader::new(BrokenReader), Vec::new());
+        assert!(result.is_err(), "a reset is a real error, not an idle close");
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
         }
     }
     manifests.sort();
-    assert!(manifests.len() >= 14, "expected the full workspace, found {manifests:?}");
+    assert!(manifests.len() >= 15, "expected the full workspace, found {manifests:?}");
     assert!(
         manifests.iter().any(|m| m.ends_with("crates/par/Cargo.toml")),
         "the rlckit-par manifest must be scanned, found {manifests:?}"
@@ -46,6 +46,10 @@ fn workspace_manifests() -> Vec<PathBuf> {
     assert!(
         manifests.iter().any(|m| m.ends_with("crates/serve/Cargo.toml")),
         "the rlckit-serve manifest must be scanned, found {manifests:?}"
+    );
+    assert!(
+        manifests.iter().any(|m| m.ends_with("crates/campaign/Cargo.toml")),
+        "the rlckit-campaign manifest must be scanned, found {manifests:?}"
     );
     assert!(
         manifests.iter().any(|m| m.ends_with("crates/bench/Cargo.toml")),
