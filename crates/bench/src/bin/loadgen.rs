@@ -16,18 +16,30 @@
 //! [`rlckit_serve::Server`] and the result is the `results/
 //! BENCH_serve.json` baseline: replay time plus derived
 //! queries-per-second, hit rate, and the interpolated p95 end-to-end
-//! latency in nanoseconds — the numbers the tier-1 perf guard checks. With `--emit=N` the mix
-//! (plus a trailing `stats` barrier) is printed to stdout instead, for
-//! the tier-1 smoke that pipes the same seeded mix through the daemon
-//! binary twice and `cmp`s the responses byte for byte.
+//! latency in nanoseconds — the numbers the tier-1 perf guard checks;
+//! plus a `concurrent_replay` entry (the same mix replayed by several
+//! sessions at once over the one shared pool) and an `eviction_churn`
+//! entry comparing LRU and FIFO warm-grid hit rates under a
+//! multi-connection hot + cold-churn mix against a small memo. With
+//! `--emit=N` the mix (plus a trailing `stats` barrier) is printed to
+//! stdout instead, for the tier-1 smoke that pipes the same seeded mix
+//! through the daemon binary twice and `cmp`s the responses byte for
+//! byte; `--hot-only` restricts the emitted mix to strictly on-grid
+//! keys (pure hits against a `--warm-grid 5` daemon — the
+//! parallel-clients cmp smoke needs every session's response stream,
+//! stats lines included, to be independent of its concurrent
+//! neighbours). With `--connect=ADDR` the same mix is instead played
+//! as a **live TCP client**: written to the daemon at `ADDR`, write
+//! half shut down, responses streamed to stdout.
 //!
 //! ```text
-//! loadgen [--emit=N] [--seed=S] [bench-name filters...]
+//! loadgen [--emit=N] [--seed=S] [--hot-only] [--connect=ADDR]
+//!         [bench-name filters...]
 //! ```
 
 #![forbid(unsafe_code)]
 
-use rlckit::memo::QUANT_BITS;
+use rlckit::memo::{Eviction, QUANT_BITS};
 use rlckit_bench::timer::{BenchOptions, Harness};
 use rlckit_numeric::rng::Rng;
 use rlckit_serve::{ServeConfig, Server};
@@ -67,7 +79,8 @@ fn query_line(id: usize, op: &str, node: &str, l_nh_mm: f64) -> String {
 
 /// The seeded mix: ~64 % hot repeats, ~30 % noisy neighbours, ~6 % cold
 /// misses, ops rotating through `optimum` / `route_delay` / `lcrit`.
-fn build_mix(seed: u64, requests: usize) -> Vec<String> {
+/// With `hot_only`, every draw is an exact on-grid hot repeat.
+fn build_mix(seed: u64, requests: usize, hot_only: bool) -> Vec<String> {
     let mut rng = Rng::new(seed);
     let ops = ["optimum", "route_delay", "lcrit"];
     let mut out = Vec::with_capacity(requests);
@@ -75,7 +88,7 @@ fn build_mix(seed: u64, requests: usize) -> Vec<String> {
         let op = ops[id % ops.len()];
         let node = NODES[rng.index(NODES.len())];
         let draw = rng.next_f64();
-        let l = if draw < 0.64 {
+        let l = if hot_only || draw < 0.64 {
             grid_l(rng.index(WARM_POINTS))
         } else if draw < 0.94 {
             noisy(grid_l(rng.index(WARM_POINTS)), &mut rng)
@@ -87,25 +100,121 @@ fn build_mix(seed: u64, requests: usize) -> Vec<String> {
     out
 }
 
+/// The eviction-pressure mix: ~60 % hot on-grid repeats and ~40 %
+/// unique full-precision cold keys (asked once, never again). Returns
+/// the lines plus the hot-request count, so the caller can compute the
+/// **warm-grid hit rate** — every hit in this mix is a hot-request hit,
+/// since cold keys are one-shot. This is the mix where FIFO eviction
+/// visibly eats the warm grid (preloaded entries are the oldest
+/// inserts, so cold churn evicts exactly them) while LRU's
+/// promote-on-hit keeps the one-shot cold keys as victims instead.
+fn build_churn_mix(seed: u64, requests: usize) -> (Vec<String>, usize) {
+    let mut rng = Rng::new(seed);
+    let ops = ["optimum", "route_delay", "lcrit"];
+    let mut out = Vec::with_capacity(requests);
+    let mut hot = 0;
+    for id in 1..=requests {
+        let op = ops[id % ops.len()];
+        let node = NODES[rng.index(NODES.len())];
+        let l = if rng.next_f64() < 0.6 {
+            hot += 1;
+            grid_l(rng.index(WARM_POINTS))
+        } else {
+            rng.uniform(0.01, 4.9)
+        };
+        out.push(query_line(id, op, node, l));
+    }
+    (out, hot)
+}
+
+/// Emit-shaped payload: the mix plus the trailing `stats` barrier the
+/// daemon answers only after every mix response is on the wire.
+fn payload(seed: u64, requests: usize, hot_only: bool) -> String {
+    let mut text = build_mix(seed, requests, hot_only).join("\n");
+    text.push('\n');
+    text.push_str(&format!("{{\"id\":{},\"op\":\"stats\"}}\n", requests + 1));
+    text
+}
+
+/// Plays `text` against a live daemon at `addr` as one TCP session:
+/// write everything, shut the write half down, stream the response
+/// bytes to stdout.
+fn connect_and_replay(addr: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut stdout = std::io::stdout().lock();
+    std::io::copy(&mut stream, &mut stdout)?;
+    Ok(())
+}
+
+/// Replays per-session churn mixes concurrently against a small memo
+/// under `eviction`, returning the aggregate warm-grid hit rate
+/// (hits / hot requests across all sessions).
+fn churn_hit_rate(eviction: Eviction, connections: usize, shard_capacity: usize) -> f64 {
+    let server = Server::new(ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        shard_capacity,
+        eviction,
+    });
+    server.warm_grid(WARM_POINTS);
+    let mixes: Vec<(String, usize)> = (0..connections)
+        .map(|i| {
+            let (lines, hot) = build_churn_mix(0xE71C_7104 + i as u64, 240);
+            (lines.join("\n") + "\n", hot)
+        })
+        .collect();
+    let summaries: Vec<rlckit_serve::ServeSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = mixes
+            .iter()
+            .map(|(input, _)| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(64 * 240);
+                    server
+                        .serve(input.as_bytes(), &mut out)
+                        .expect("in-memory replay cannot fail on I/O")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let hot_total: usize = mixes.iter().map(|(_, hot)| hot).sum();
+    let hits: u64 = summaries.iter().map(|s| s.hits).sum();
+    hits as f64 / hot_total.max(1) as f64
+}
+
 fn main() {
     let mut emit: Option<usize> = None;
     let mut seed = 0x4c4f_4144_4745_4e21; // "LOADGEN!"
+    let mut hot_only = false;
+    let mut connect: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if let Some(n) = arg.strip_prefix("--emit=") {
             emit = Some(n.parse().expect("--emit=N needs an integer"));
         } else if let Some(s) = arg.strip_prefix("--seed=") {
             seed = s.parse().expect("--seed=S needs an integer");
+        } else if arg == "--hot-only" {
+            hot_only = true;
+        } else if let Some(addr) = arg.strip_prefix("--connect=") {
+            connect = Some(addr.to_string());
         }
     }
 
-    if let Some(requests) = emit {
-        for line in build_mix(seed, requests) {
-            println!("{line}");
+    if let Some(addr) = connect {
+        let requests = emit.unwrap_or(60);
+        if let Err(e) = connect_and_replay(&addr, &payload(seed, requests, hot_only)) {
+            eprintln!("loadgen: client session against {addr} failed: {e}");
+            std::process::exit(1);
         }
-        // Trailing barrier: the daemon answers it only after every mix
-        // response is on the wire, so the smoke can read hit counts off
-        // the final line.
-        println!("{{\"id\":{},\"op\":\"stats\"}}", requests + 1);
+        return;
+    }
+
+    if let Some(requests) = emit {
+        print!("{}", payload(seed, requests, hot_only));
         return;
     }
 
@@ -113,7 +222,7 @@ fn main() {
     rlckit_trace::set_enabled(true);
     let mut h = Harness::from_args("serve");
 
-    let mix = build_mix(seed, 240);
+    let mix = build_mix(seed, 240, false);
     let requests = mix.len();
     let input = mix.join("\n") + "\n";
 
@@ -170,6 +279,66 @@ fn main() {
     println!(
         "loadgen: {requests} requests, hit rate {hit_rate:.3}, {} errors",
         last.errors
+    );
+
+    // Multi-connection replay: the same mix replayed by several
+    // concurrent sessions over the one shared pool — the serving shape
+    // the concurrent daemon runs. qps counts all sessions' requests;
+    // `cores` lets the tier-1 scaling guard gate on the hardware.
+    let connections = 4usize;
+    h.bench_with("concurrent_replay", &BenchOptions::with_samples(10), || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    let server = &server;
+                    let input = input.as_str();
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(64 * requests);
+                        server
+                            .serve(input.as_bytes(), &mut out)
+                            .expect("in-memory replay cannot fail on I/O");
+                        out.len()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+    });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut extras = vec![
+        ("connections", connections as f64),
+        ("requests_per_connection", requests as f64),
+        ("cores", cores as f64),
+    ];
+    if let Some(s) = h.stats("concurrent_replay") {
+        extras.push(("qps", 1e9 * (connections * requests) as f64 / s.median_ns));
+    }
+    h.annotate("concurrent_replay", &extras);
+
+    // Eviction face-off: hot + one-shot-cold churn from 3 concurrent
+    // sessions against a deliberately small memo. LRU must hold the
+    // warm grid (> 0.9 hit rate guarded in tier1); FIFO, which evicts
+    // its oldest — i.e. precisely the preloaded warm entries — must
+    // measurably degrade on the same byte-identical workload.
+    let shard_capacity = 12usize;
+    let lru_rate = churn_hit_rate(Eviction::Lru, 3, shard_capacity);
+    let fifo_rate = churn_hit_rate(Eviction::Fifo, 3, shard_capacity);
+    h.bench_with("eviction_churn", &BenchOptions::with_samples(3), || {
+        // The timed body replays the LRU face-off; the headline
+        // metrics are the pre-computed aggregate hit rates.
+        churn_hit_rate(Eviction::Lru, 3, shard_capacity)
+    });
+    h.annotate(
+        "eviction_churn",
+        &[
+            ("lru_warm_hit_rate", lru_rate),
+            ("fifo_warm_hit_rate", fifo_rate),
+            ("connections", 3.0),
+            ("shard_capacity", shard_capacity as f64),
+        ],
+    );
+    println!(
+        "loadgen: eviction churn warm-grid hit rate — lru {lru_rate:.3}, fifo {fifo_rate:.3}"
     );
 
     // Reference: what one un-memoized ask costs, for eyeballing the

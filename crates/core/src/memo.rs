@@ -31,9 +31,31 @@
 //! mutex. A serving daemon pins worker *i* to shard *i* and routes each
 //! request to the worker that owns its key — then a shard's lock is
 //! only ever contended by that worker's own queue, not by its peers.
-//! The capacity bound is **per shard**; eviction is FIFO within each
-//! shard. [`OptimumMemo::new`] is the single-shard configuration with
-//! the original whole-table semantics.
+//! The capacity bound is **per shard**. [`OptimumMemo::new`] is the
+//! single-shard configuration with the original whole-table semantics.
+//!
+//! # Eviction
+//!
+//! A shard at capacity evicts its front entry. Which entry sits at the
+//! front is the [`Eviction`] policy, chosen at construction:
+//!
+//! * [`Eviction::Fifo`] (the default of [`OptimumMemo::new`] and
+//!   [`OptimumMemo::sharded`]) keeps strict insertion order — the
+//!   original semantics, and what the single-session campaign-adjacent
+//!   tools were written against.
+//! * [`Eviction::Lru`] ([`OptimumMemo::sharded_with_eviction`])
+//!   additionally **promotes an entry to the back on every hit**, so
+//!   the front is the least-recently-*used* entry. A serving daemon
+//!   whose sessions mix hot warm-grid keys with one-shot cold keys
+//!   wants this: under FIFO the boot-time warm-grid entries are the
+//!   *oldest inserts* and therefore the first evicted by cold-key
+//!   churn, exactly backwards from their value. Under LRU the churn
+//!   evicts the stale cold entries instead.
+//!
+//! Either way `memo.evictions` counts every displaced entry, and
+//! [`OptimumMemo::preload`] / [`OptimumMemo::probe`] stay
+//! order-neutral (a warm-start replay or a diagnostic probe must not
+//! perturb the recency ranking).
 //!
 //! # Telemetry and the lock
 //!
@@ -135,12 +157,27 @@ impl Served {
     }
 }
 
+/// Which entry a full shard evicts (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Eviction {
+    /// Strict insertion order: the oldest *insert* is evicted first,
+    /// regardless of how recently it was hit. The original semantics;
+    /// the default everywhere but the serving daemon.
+    #[default]
+    Fifo,
+    /// Least-recently-used: every hit promotes its entry to the back,
+    /// so the eviction victim is the entry that has gone unasked the
+    /// longest. What a long-lived daemon serving hot/cold mixes wants.
+    Lru,
+}
+
 /// A bounded, thread-safe, sharded memo table over [`optimize_rlc`]
 /// for serving layers. See the module docs for the quantization
 /// semantics, the sharding model, and the campaign-path exclusion.
 pub struct OptimumMemo {
     shards: Vec<Mutex<Vec<(MemoKey, RlcOptimum)>>>,
     shard_capacity: usize,
+    eviction: Eviction,
 }
 
 impl Default for OptimumMemo {
@@ -158,12 +195,22 @@ impl OptimumMemo {
     }
 
     /// Creates a memo of `shards` independently locked shards (clamped
-    /// to ≥ 1), each retaining at most `shard_capacity` entries.
+    /// to ≥ 1), each retaining at most `shard_capacity` entries, with
+    /// the original [`Eviction::Fifo`] policy.
     #[must_use]
     pub fn sharded(shards: usize, shard_capacity: usize) -> Self {
+        Self::sharded_with_eviction(shards, shard_capacity, Eviction::Fifo)
+    }
+
+    /// [`OptimumMemo::sharded`] with an explicit [`Eviction`] policy —
+    /// the serving daemon passes [`Eviction::Lru`] here so cold-key
+    /// churn cannot flush the warm grid.
+    #[must_use]
+    pub fn sharded_with_eviction(shards: usize, shard_capacity: usize, eviction: Eviction) -> Self {
         Self {
             shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
             shard_capacity: shard_capacity.max(1),
+            eviction,
         }
     }
 
@@ -171,6 +218,12 @@ impl OptimumMemo {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The eviction policy chosen at construction.
+    #[must_use]
+    pub fn eviction(&self) -> Eviction {
+        self.eviction
     }
 
     /// Maximum entries retained per shard.
@@ -322,8 +375,26 @@ impl OptimumMemo {
         out
     }
 
+    /// Locked read that additionally moves a hit entry to the back of
+    /// its shard — the [`Eviction::Lru`] promote-on-hit step. Only the
+    /// counting lookup path promotes; [`OptimumMemo::probe`] and
+    /// [`OptimumMemo::preload`] are order-neutral by contract.
+    fn probe_promote(&self, key: &MemoKey) -> Option<RlcOptimum> {
+        let mut entries = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let index = entries.iter().position(|(k, _)| k == key)?;
+        let entry = entries.remove(index);
+        let value = entry.1;
+        entries.push(entry);
+        Some(value)
+    }
+
     fn lookup(&self, key: &MemoKey) -> Option<RlcOptimum> {
-        let hit = self.probe(key);
+        let hit = match self.eviction {
+            Eviction::Fifo => self.probe(key),
+            Eviction::Lru => self.probe_promote(key),
+        };
         // Counters deliberately live outside the lock (see module docs).
         if hit.is_some() {
             counter!("memo.hits").incr();
@@ -334,7 +405,10 @@ impl OptimumMemo {
     }
 
     /// Returns `true` if the entry was inserted (`false`: key already
-    /// present). Eviction counting happens after the lock is released.
+    /// present). A full shard evicts its front entry — the oldest
+    /// insert under [`Eviction::Fifo`], the least-recently-used entry
+    /// under [`Eviction::Lru`] (hits move entries to the back).
+    /// Eviction counting happens after the lock is released.
     fn insert(&self, key: MemoKey, value: RlcOptimum) -> bool {
         let (inserted, evicted) = {
             let mut entries = self.shards[self.shard_of(&key)]
@@ -519,6 +593,84 @@ mod tests {
         memo.optimum(&oldest, &driver, OptimizerOptions::default()).unwrap();
         let delta = rlckit_trace::snapshot().since(&before);
         assert_eq!(delta.counter("memo.misses"), 1);
+    }
+
+    /// The LRU policy's whole point: a hit must promote, so the hot
+    /// entry survives the eviction that would have taken it under
+    /// FIFO. (Pre-LRU, a daemon's boot-time warm grid was always the
+    /// oldest insert and therefore the first casualty of cold churn.)
+    #[test]
+    fn lru_hits_promote_and_redirect_eviction() {
+        let (line, driver) = setup();
+        let opts = OptimizerOptions::default();
+        let at = |nano_per_milli: f64| {
+            LineRlc::new(
+                line.resistance(),
+                HenriesPerMeter::from_nano_per_milli(nano_per_milli),
+                line.capacitance(),
+            )
+        };
+        let memo = OptimumMemo::sharded_with_eviction(1, 2, Eviction::Lru);
+        assert_eq!(memo.eviction(), Eviction::Lru);
+        let hot = at(1.0);
+        let before = rlckit_trace::snapshot();
+        memo.optimum(&hot, &driver, opts).unwrap(); // insert hot
+        memo.optimum(&at(1.4), &driver, opts).unwrap(); // insert cold
+        memo.optimum(&hot, &driver, opts).unwrap(); // hit hot → promote
+        memo.optimum(&at(1.8), &driver, opts).unwrap(); // evicts 1.4, not hot
+        let delta = rlckit_trace::snapshot().since(&before);
+        assert_eq!(delta.counter("memo.evictions"), 1, "evictions still count");
+        assert!(
+            memo.probe(&key_for(&hot, &driver, opts)).is_some(),
+            "the promoted hot entry must survive"
+        );
+        assert!(
+            memo.probe(&key_for(&at(1.4), &driver, opts)).is_none(),
+            "the stale entry must be the victim"
+        );
+        // Under FIFO the same sequence evicts the hot entry instead.
+        let fifo = OptimumMemo::sharded(1, 2);
+        assert_eq!(fifo.eviction(), Eviction::Fifo);
+        fifo.optimum(&hot, &driver, opts).unwrap();
+        fifo.optimum(&at(1.4), &driver, opts).unwrap();
+        fifo.optimum(&hot, &driver, opts).unwrap();
+        fifo.optimum(&at(1.8), &driver, opts).unwrap();
+        assert!(
+            fifo.probe(&key_for(&hot, &driver, opts)).is_none(),
+            "FIFO ignores recency: the oldest insert goes first"
+        );
+    }
+
+    /// Probe and preload are order-neutral even under LRU: neither a
+    /// diagnostic probe nor a warm-start duplicate may perturb the
+    /// recency ranking.
+    #[test]
+    fn lru_probe_and_preload_do_not_promote() {
+        let (line, driver) = setup();
+        let opts = OptimizerOptions::default();
+        let at = |nano_per_milli: f64| {
+            LineRlc::new(
+                line.resistance(),
+                HenriesPerMeter::from_nano_per_milli(nano_per_milli),
+                line.capacitance(),
+            )
+        };
+        let memo = OptimumMemo::sharded_with_eviction(1, 2, Eviction::Lru);
+        let first = at(1.0);
+        memo.optimum(&first, &driver, opts).unwrap();
+        let second = at(1.4);
+        memo.optimum(&second, &driver, opts).unwrap();
+        let first_key = key_for(&first, &driver, opts);
+        // A probe and a duplicate preload of the front entry...
+        let value = memo.probe(&first_key).unwrap();
+        assert!(!memo.preload(first_key, value));
+        // ...must leave it at the front: the next insert evicts it.
+        memo.optimum(&at(1.8), &driver, opts).unwrap();
+        assert!(
+            memo.probe(&first_key).is_none(),
+            "probe/preload must not have promoted the front entry"
+        );
+        assert!(memo.probe(&key_for(&second, &driver, opts)).is_some());
     }
 
     /// Regression for the dead length slot (behavioural half): an

@@ -81,7 +81,7 @@
 
 pub mod pool;
 
-pub use pool::ShardedPool;
+pub use pool::{PoolClosed, ShardedPool};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -50,17 +50,45 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rlckit_numeric::{NumericError, Result};
 use rlckit_trace::events::EventKind;
 use rlckit_trace::{counter, event, histogram};
+
+/// A submission rejected because the target shard's worker is gone —
+/// possible only after the pool has started tearing down. Carries the
+/// rejected request back to the caller, so a serving layer can still
+/// answer it (e.g. with an error response naming the request's id)
+/// instead of dropping it on the floor.
+pub struct PoolClosed<Req> {
+    /// The shard whose worker was gone.
+    pub shard: usize,
+    /// The rejected request, returned intact.
+    pub request: Req,
+}
+
+impl<Req> std::fmt::Debug for PoolClosed<Req> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolClosed {{ shard: {} }}", self.shard)
+    }
+}
+
+impl<Req> std::fmt::Display for PoolClosed<Req> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool shard {} worker is gone", self.shard)
+    }
+}
+
+/// What travels down a shard's queue: the optional flight-recorder
+/// trace id, then the request itself.
+type Tagged<Req> = (Option<u64>, Req);
 
 /// A fixed set of worker threads, each owning one bounded FIFO queue.
 /// See the module docs for the ordering, backpressure and panic
 /// contracts.
 pub struct ShardedPool<Req: Send + 'static> {
-    senders: Vec<SyncSender<(Option<u64>, Req)>>,
+    senders: std::sync::RwLock<Option<Vec<SyncSender<Tagged<Req>>>>>,
+    workers: usize,
     depths: Arc<Vec<AtomicUsize>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: std::sync::Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl<Req: Send + 'static> ShardedPool<Req> {
@@ -98,16 +126,17 @@ impl<Req: Send + 'static> ShardedPool<Req> {
             senders.push(tx);
         }
         Self {
-            senders,
+            senders: std::sync::RwLock::new(Some(senders)),
+            workers,
             depths,
-            handles,
+            handles: std::sync::Mutex::new(handles),
         }
     }
 
     /// Number of workers (= shards).
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.senders.len()
+        self.workers
     }
 
     /// Enqueues `req` on shard `shard % workers()`. Blocks while the
@@ -115,9 +144,10 @@ impl<Req: Send + 'static> ShardedPool<Req> {
     ///
     /// # Errors
     ///
-    /// [`NumericError::InvalidInput`] if the shard's worker is gone —
-    /// possible only after the pool has started tearing down.
-    pub fn submit(&self, shard: usize, req: Req) -> Result<()> {
+    /// [`PoolClosed`] — carrying the rejected request back — if the
+    /// shard's worker is gone, possible only after the pool has started
+    /// tearing down.
+    pub fn submit(&self, shard: usize, req: Req) -> std::result::Result<(), PoolClosed<Req>> {
         self.submit_inner(shard, None, req)
     }
 
@@ -130,39 +160,89 @@ impl<Req: Send + 'static> ShardedPool<Req> {
     /// # Errors
     ///
     /// Same as [`ShardedPool::submit`].
-    pub fn submit_traced(&self, shard: usize, trace_id: u64, req: Req) -> Result<()> {
+    pub fn submit_traced(
+        &self,
+        shard: usize,
+        trace_id: u64,
+        req: Req,
+    ) -> std::result::Result<(), PoolClosed<Req>> {
         self.submit_inner(shard, Some(trace_id), req)
     }
 
-    fn submit_inner(&self, shard: usize, trace_id: Option<u64>, req: Req) -> Result<()> {
-        let shard = shard % self.senders.len();
+    fn submit_inner(
+        &self,
+        shard: usize,
+        trace_id: Option<u64>,
+        req: Req,
+    ) -> std::result::Result<(), PoolClosed<Req>> {
+        let shard = shard % self.workers;
+        let senders = self
+            .senders
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // On rejection the request is handed back to the caller — a
+        // serving layer answers it inline with the id it already parsed
+        // rather than losing the correlation.
+        let Some(senders) = senders.as_ref() else {
+            return Err(PoolClosed { shard, request: req });
+        };
         counter!("par.pool.submitted").incr();
         let depth = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
         histogram!("par.pool.queue_depth").observe(depth as u64);
-        let disconnected = |depths: &[AtomicUsize]| {
+        let disconnected = |depths: &[AtomicUsize], request: Req| {
             depths[shard].fetch_sub(1, Ordering::Relaxed);
-            NumericError::InvalidInput(format!("pool shard {shard} worker is gone"))
+            PoolClosed { shard, request }
         };
-        match self.senders[shard].try_send((trace_id, req)) {
+        match senders[shard].try_send((trace_id, req)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(req)) => {
                 counter!("par.pool.backpressure").incr();
-                self.senders[shard]
+                senders[shard]
                     .send(req)
-                    .map_err(|_| disconnected(&self.depths))
+                    .map_err(|e| disconnected(&self.depths, (e.0).1))
             }
-            Err(TrySendError::Disconnected(_)) => Err(disconnected(&self.depths)),
+            Err(TrySendError::Disconnected((_, req))) => Err(disconnected(&self.depths, req)),
         }
     }
 
-    /// Closes every queue and joins every worker. Requests already
-    /// enqueued are still handled; a worker that panicked during
-    /// teardown is ignored (its panics were already counted).
-    pub fn join(self) {
-        drop(self.senders);
-        for handle in self.handles {
+    /// Closes every queue and joins every worker **without consuming
+    /// the pool**: requests already enqueued are still handled, and
+    /// every later submit returns [`PoolClosed`] carrying its request
+    /// back. Idempotent — a second call is a no-op. A worker that
+    /// panicked during teardown is ignored (its panics were already
+    /// counted).
+    pub fn shutdown(&self) {
+        let taken = self
+            .senders
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        drop(taken); // workers see Disconnected once their queue drains
+        let handles = std::mem::take(
+            &mut *self
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in handles {
             let _ = handle.join();
         }
+    }
+
+    /// Consuming variant of [`ShardedPool::shutdown`], for owners that
+    /// are done with the pool entirely.
+    pub fn join(self) {
+        self.shutdown();
+    }
+}
+
+impl<Req: Send + 'static> Drop for ShardedPool<Req> {
+    /// Dropping the pool drains and joins its workers ([`shutdown`]
+    /// semantics), so no worker thread outlives the pool it belongs to.
+    ///
+    /// [`shutdown`]: ShardedPool::shutdown
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -225,6 +305,26 @@ mod tests {
             assert_eq!(e.kind, EventKind::Dequeue);
             assert_eq!(e.value, e.trace_id % 2, "value must be the owning shard");
         }
+    }
+
+    /// Pre-fix regression (serving-layer correlation): a submit that
+    /// finds the pool shut down must hand the request back so the
+    /// caller can still answer it with the id it already parsed. The
+    /// old signature returned a bare error and dropped the request.
+    #[test]
+    fn shutdown_rejections_carry_the_request_back() {
+        let pool = ShardedPool::new(2, 4, move |_, _req: (u64, String)| {});
+        pool.submit(0, (1, "first".to_string())).unwrap();
+        pool.shutdown();
+        let err = pool
+            .submit_traced(1, 77, (42, "orphan".to_string()))
+            .expect_err("a shut-down pool must reject new work");
+        assert_eq!(err.request.0, 42, "the request must come back intact");
+        assert_eq!(err.request.1, "orphan");
+        assert_eq!(err.shard, 1);
+        // Idempotent: a second shutdown (and the final join) is a no-op.
+        pool.shutdown();
+        pool.join();
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! rlckit-serve [--stdin | --tcp ADDR] [--idle-timeout-secs N]
-//!              [--workers N] [--queue-depth N] [--shard-capacity N]
-//!              [--warm-grid POINTS] [--snapshot PATH]
+//!              [--max-connections N] [--workers N] [--queue-depth N]
+//!              [--shard-capacity N] [--eviction lru|fifo]
+//!              [--warm-grid POINTS] [--snapshot PATH] [--rewarm-secs N]
 //!              [--trace-events PATH] [--trace-flush-secs N]
 //! ```
 //!
@@ -13,6 +14,23 @@
 //! (possibly grown) memo is saved back to `--snapshot`. Diagnostics go
 //! to stderr; stdout carries only protocol responses. Telemetry follows
 //! the usual `RLCKIT_TRACE` contract and is flushed on exit.
+//!
+//! # Concurrent TCP serving
+//!
+//! Connections are served **concurrently** over the one shared pool
+//! and memo ([`rlckit_serve::daemon::serve_connections`]): each gets
+//! its own session thread, sequence space, and in-order response
+//! stream, up to `--max-connections` simultaneous sessions (beyond
+//! which an arrival is answered with one clean `"ok":false` line and
+//! closed). Accept-side failures — a failed accept, a peer reset
+//! before its metadata could be read — are logged, counted under
+//! `serve.accept_errors`, and survived; they never terminate the
+//! daemon.
+//!
+//! `--rewarm-secs N` starts a background re-warmer that re-solves
+//! missing warm-grid points every `N` seconds and atomically refreshes
+//! `--snapshot`, so evictions under cold churn are repaired while the
+//! daemon is live.
 //!
 //! # Observability flags
 //!
@@ -24,50 +42,56 @@
 //! background thread that calls [`rlckit_trace::flush`] every `N`
 //! seconds, so a long-lived daemon's metrics reach the `RLCKIT_TRACE`
 //! sink (use the `jsonl+:` append sink to keep every period) without
-//! waiting for exit.
+//! waiting for exit — plus one final flush on shutdown, even for
+//! sessions shorter than one period.
 //!
 //! # Idle clients
 //!
-//! TCP connections are served sequentially, so a client that connects
-//! and then goes silent would wedge the accept loop forever.
 //! `--idle-timeout-secs N` (default 0 = never) arms a socket read
-//! timeout: a connection idle for `N` seconds is answered with one
-//! final `"ok":false` line, tallied in the `serve.timeouts` counter,
-//! and closed — the loop moves on to the next client.
+//! timeout on each connection: one idle for `N` seconds is answered
+//! with one final `"ok":false` line, tallied in the `serve.timeouts`
+//! counter, and closed — without disturbing any other session.
 
 #![forbid(unsafe_code)]
 
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use rlckit::memo::Eviction;
+use rlckit_serve::daemon::{serve_connections, Flusher, Rewarmer, TcpOptions};
 use rlckit_serve::snapshot::{self, LoadOutcome};
 use rlckit_serve::{ServeConfig, Server};
 
 struct Args {
     tcp: Option<String>,
     idle_timeout_secs: u64,
+    max_connections: usize,
     config: ServeConfig,
     warm_grid: usize,
     snapshot: Option<std::path::PathBuf>,
+    rewarm_secs: u64,
     trace_events: Option<std::path::PathBuf>,
     trace_flush_secs: u64,
 }
 
 fn usage() -> &'static str {
     "usage: rlckit-serve [--stdin | --tcp ADDR] [--idle-timeout-secs N] \
-     [--workers N] [--queue-depth N] [--shard-capacity N] [--warm-grid POINTS] \
-     [--snapshot PATH] [--trace-events PATH] [--trace-flush-secs N]"
+     [--max-connections N] [--workers N] [--queue-depth N] [--shard-capacity N] \
+     [--eviction lru|fifo] [--warm-grid POINTS] [--snapshot PATH] [--rewarm-secs N] \
+     [--trace-events PATH] [--trace-flush-secs N]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         tcp: None,
         idle_timeout_secs: 0,
+        max_connections: rlckit_serve::daemon::DEFAULT_MAX_CONNECTIONS,
         config: ServeConfig::default(),
         warm_grid: 0,
         snapshot: None,
+        rewarm_secs: 0,
         trace_events: None,
         trace_flush_secs: 0,
     };
@@ -84,6 +108,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--idle-timeout-secs: {e}"))?;
             }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+                if args.max_connections == 0 {
+                    return Err("--max-connections must be ≥ 1".to_string());
+                }
+            }
             "--workers" => {
                 args.config.workers = value("--workers")?
                     .parse()
@@ -99,12 +131,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--shard-capacity: {e}"))?;
             }
+            "--eviction" => {
+                args.config.eviction = match value("--eviction")?.as_str() {
+                    "lru" => Eviction::Lru,
+                    "fifo" => Eviction::Fifo,
+                    other => return Err(format!("--eviction: {other:?} is not lru|fifo")),
+                };
+            }
             "--warm-grid" => {
                 args.warm_grid = value("--warm-grid")?
                     .parse()
                     .map_err(|e| format!("--warm-grid: {e}"))?;
             }
             "--snapshot" => args.snapshot = Some(value("--snapshot")?.into()),
+            "--rewarm-secs" => {
+                args.rewarm_secs = value("--rewarm-secs")?
+                    .parse()
+                    .map_err(|e| format!("--rewarm-secs: {e}"))?;
+            }
             "--trace-events" => args.trace_events = Some(value("--trace-events")?.into()),
             "--trace-flush-secs" => {
                 args.trace_flush_secs = value("--trace-flush-secs")?
@@ -144,7 +188,7 @@ fn boot(args: &Args) -> std::io::Result<Server> {
         );
     }
     if let Some(path) = &args.snapshot {
-        let written = snapshot::save(path, server.memo())?;
+        let written = snapshot::save_atomic(path, server.memo())?;
         eprintln!("rlckit-serve: snapshot of {written} entries saved to {}", path.display());
     }
     Ok(server)
@@ -157,39 +201,6 @@ fn drain_events(path: &std::path::Path) {
             eprintln!("rlckit-serve: drained {count} events to {}", path.display());
         }
         Err(e) => eprintln!("rlckit-serve: event drain to {} failed: {e}", path.display()),
-    }
-}
-
-/// A periodic metrics flusher: ticks every `secs` until the returned
-/// stop handle is dropped, then flushes one final time on the way out.
-struct Flusher {
-    stop: Option<mpsc::Sender<()>>,
-    handle: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Flusher {
-    fn start(secs: u64) -> Self {
-        let (stop, tick) = mpsc::channel::<()>();
-        let handle = std::thread::spawn(move || {
-            while let Err(mpsc::RecvTimeoutError::Timeout) =
-                tick.recv_timeout(Duration::from_secs(secs))
-            {
-                rlckit_trace::flush();
-            }
-        });
-        Self {
-            stop: Some(stop),
-            handle: Some(handle),
-        }
-    }
-}
-
-impl Drop for Flusher {
-    fn drop(&mut self) {
-        drop(self.stop.take());
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
     }
 }
 
@@ -207,7 +218,15 @@ fn run() -> std::io::Result<ExitCode> {
         rlckit_trace::set_enabled(true);
     }
     let _flusher = (args.trace_flush_secs > 0).then(|| Flusher::start(args.trace_flush_secs));
-    let server = boot(&args)?;
+    let server = Arc::new(boot(&args)?);
+    let _rewarmer = (args.rewarm_secs > 0).then(|| {
+        Rewarmer::start(
+            Arc::clone(&server),
+            Duration::from_secs(args.rewarm_secs),
+            args.warm_grid,
+            args.snapshot.clone(),
+        )
+    });
 
     match &args.tcp {
         None => {
@@ -226,19 +245,16 @@ fn run() -> std::io::Result<ExitCode> {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)?;
             eprintln!("rlckit-serve: listening on {}", listener.local_addr()?);
-            for stream in listener.incoming() {
-                let stream = stream?;
-                let peer = stream.peer_addr()?;
-                if args.idle_timeout_secs > 0 {
-                    // Clones share the socket, so the reader side
-                    // inherits the timeout; the engine turns the
-                    // resulting WouldBlock into a clean close.
-                    stream.set_read_timeout(Some(Duration::from_secs(args.idle_timeout_secs)))?;
-                }
-                let reader = BufReader::new(stream.try_clone()?);
-                // Connections are served sequentially: the memo warms
-                // across them, and each gets the whole pool.
-                match server.serve(reader, stream) {
+            let options = TcpOptions {
+                idle_timeout: (args.idle_timeout_secs > 0)
+                    .then(|| Duration::from_secs(args.idle_timeout_secs)),
+                max_connections: args.max_connections,
+            };
+            // Session-close bookkeeping runs on the session threads;
+            // the event drain rewrites one shared file, so serialize it.
+            let drain_gate = Mutex::new(());
+            serve_connections(&server, listener.incoming(), &options, |peer, result| {
+                match result {
                     Ok(summary) => eprintln!(
                         "rlckit-serve: {peer} closed after {} requests ({} hits{})",
                         summary.requests,
@@ -248,9 +264,10 @@ fn run() -> std::io::Result<ExitCode> {
                     Err(e) => eprintln!("rlckit-serve: connection {peer}: {e}"),
                 }
                 if let Some(path) = &args.trace_events {
+                    let _serialized = drain_gate.lock();
                     drain_events(path);
                 }
-            }
+            });
         }
     }
     Ok(ExitCode::SUCCESS)

@@ -3,33 +3,52 @@
 //! # Pipeline
 //!
 //! ```text
-//! reader ──► router ──► ShardedPool (worker i owns memo shard i) ──► writer
-//!              │                                                      ▲
-//!              └── parse errors / stats barriers / trace snapshots ───┘
+//! session A: reader ──► router ──┐                      ┌──► writer A
+//!                                ├─► ShardedPool ───────┤
+//! session B: reader ──► router ──┘   (worker i owns     └──► writer B
+//!                                     memo shard i)
 //! ```
 //!
-//! One router thread (the caller of [`Server::serve`]) reads requests
-//! line by line, routes each query to the [`rlckit_par::ShardedPool`]
-//! shard that owns its memo key, and tags it with a sequence number. A
-//! writer thread reorders worker responses back into input order before
-//! writing. This shape is what makes the daemon **deterministic**:
+//! One [`Server`] owns a single [`rlckit_par::ShardedPool`] and memo
+//! for its whole lifetime, and **any number of sessions** (TCP
+//! connections, stdin, bench replays) run [`Server::serve`] against it
+//! concurrently. Each session has its own router thread (the caller of
+//! `serve`) reading requests line by line, its own **sequence space**,
+//! and its own writer thread reordering worker responses back into that
+//! session's request order. Every routed query carries its session's
+//! reply sender, so the shared workers answer straight back to the
+//! session that asked. This shape is what makes the daemon
+//! **deterministic**:
 //!
 //! * Same-key requests hash to the same shard, whose queue is FIFO and
 //!   whose worker is pinned — so of two back-to-back asks of one cold
-//!   key, the first always solves and the second always hits. No global
-//!   lock is contended across shards.
-//! * Responses are emitted strictly in request order regardless of
-//!   which worker finished first, so two runs over the same input
-//!   produce byte-identical output once the `*_ns` wall-clock fields
-//!   are stripped (the tier-1 serve smoke `cmp`s exactly this).
-//! * A `stats` request is a **pipeline barrier**: the router stalls
-//!   intake until every earlier response has been written, then answers
-//!   from quiescent counters — so stats are a pure function of the
-//!   request prefix, not of scheduling.
+//!   key, the first always solves and the second always hits, *even
+//!   when the two asks come from different connections* (they
+//!   serialize on the pinned shard worker). No global lock is
+//!   contended across shards.
+//! * Responses are emitted strictly in request order **per session**
+//!   regardless of which worker finished first, so a connection's
+//!   response stream is byte-identical (modulo `*_ns` wall-clock
+//!   fields) to serving it alone against the same warm memo — the
+//!   tier-1 parallel-clients smoke `cmp`s exactly this.
+//! * A `stats` request is a **per-session barrier**: the router sleeps
+//!   on a condvar ([`Progress`]) until its writer has put every
+//!   earlier response of *this session* on the wire, then answers from
+//!   the session's quiescent counters — so stats are a pure function
+//!   of the session's request prefix, not of scheduling. (Other
+//!   sessions keep flowing; the barrier never stalls the shared pool.)
 //! * A `trace` request is the deliberate exception: a *live*
 //!   observability snapshot the router answers without a barrier, so
 //!   its in-flight count and slowest ranking reflect scheduling and sit
 //!   outside the byte-identity contract.
+//!
+//! # Eviction
+//!
+//! The shared memo defaults to **LRU** ([`Eviction::Lru`]): a serving
+//! mix re-asks its hot (warm-grid) keys, and per-shard FIFO would
+//! evict exactly those oldest inserts first under cold churn.
+//! [`ServeConfig::eviction`] selects the policy; campaign paths build
+//! their own FIFO memos and are untouched.
 //!
 //! # Observability
 //!
@@ -46,8 +65,10 @@
 //! | `serve.solve` | `Solve` | worker | 0 = served, 1 = solve error, 2 = panic |
 //! | `serve.write` | `Write` | writer | response bytes (query requests only) |
 //!
-//! Everything but each event's `t_ns` is deterministic, so two seeded
-//! runs drain byte-identical event streams after stripping `t_ns`.
+//! Everything but each event's `t_ns` is deterministic for a solo
+//! session, so two seeded runs drain byte-identical event streams
+//! after stripping `t_ns`. (Concurrent sessions interleave their
+//! traces; each trace's own span tree stays intact and causal.)
 //!
 //! `serve.requests` / `serve.parse_errors` / `serve.solve_errors`
 //! count intake and failures; `serve.latency_log2_ns` is a log₂-bucketed
@@ -62,10 +83,10 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use rlckit::memo::{key_for, OptimumMemo, Served, DEFAULT_CAPACITY};
+use rlckit::memo::{key_for, Eviction, OptimumMemo, Served, DEFAULT_CAPACITY};
 use rlckit::optimizer::optimize_rlc;
 use rlckit_par::ShardedPool;
 use rlckit_tech::TechNode;
@@ -102,6 +123,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Memo entries retained per shard.
     pub shard_capacity: usize,
+    /// Eviction policy of the shared memo. Defaults to
+    /// [`Eviction::Lru`]: a serving mix re-asks its warm-grid keys, and
+    /// FIFO evicts exactly those oldest inserts first under cold churn.
+    pub eviction: Eviction,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +135,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             shard_capacity: DEFAULT_CAPACITY,
+            eviction: Eviction::Lru,
         }
     }
 }
@@ -133,9 +159,91 @@ pub struct ServeSummary {
     pub timed_out: bool,
 }
 
+/// Per-session tallies, shared between a session's router and whichever
+/// pinned pool workers answer its queries.
+#[derive(Default)]
+struct SessionCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    solve_errors: AtomicU64,
+}
+
+/// What a worker (or the router, for inline answers) hands a session's
+/// writer: `(seq, trace_id, query started-at, response text)`.
+type Reply = (u64, u64, Option<Instant>, String);
+
+/// One routed query in flight through the shared pool. Owns everything
+/// the worker needs to answer — including the submitting session's
+/// reply sender, which is how one pool serves many sessions without
+/// knowing they exist.
+struct Job {
+    seq: u64,
+    trace_id: u64,
+    t0: Option<Instant>,
+    query: Box<Query>,
+    counters: Arc<SessionCounters>,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// A session's write-progress cursor: how many responses its writer has
+/// put on the wire, guarded by a condvar so the router's `stats`
+/// barrier *sleeps* until the writer catches up instead of busy-spinning
+/// `yield_now()` (which, on a loaded box, burned a core per barrier).
+struct Progress {
+    written: Mutex<u64>,
+    wrote: Condvar,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Self {
+            written: Mutex::new(0),
+            wrote: Condvar::new(),
+        }
+    }
+
+    /// Writer-side: every response with `seq < next` is on the wire.
+    fn advance_to(&self, next: u64) {
+        *self
+            .written
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+        self.wrote.notify_all();
+    }
+
+    /// Writer-side, on an I/O error: releases every waiter forever. A
+    /// barrier that outlives its writer would otherwise hang the
+    /// session's router.
+    fn abandon(&self) {
+        self.advance_to(u64::MAX);
+    }
+
+    /// Router-side: blocks until at least `seq` responses are written
+    /// (or the writer abandoned the session).
+    fn wait_for(&self, seq: u64) {
+        let mut written = self
+            .written
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *written < seq {
+            written = self
+                .wrote
+                .wait(written)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self
+            .written
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// The server-lifetime log of the slowest requests, worst first, ties
-/// broken toward the earlier trace id. Maintained by the writer thread
-/// (only while tracing is enabled), read by the router's `trace` op.
+/// broken toward the earlier trace id. Maintained by the writer threads
+/// (only while tracing is enabled), read by any router's `trace` op.
 #[derive(Debug, Default)]
 struct SlowLog {
     entries: Vec<SlowRequest>,
@@ -165,19 +273,50 @@ pub fn standard_grid(points: usize) -> Vec<f64> {
 }
 
 /// A query daemon: a sharded memo plus the serving pipeline around it.
+/// One `Server` serves any number of concurrent sessions — see the
+/// module docs.
 pub struct Server {
     memo: Arc<OptimumMemo>,
+    pool: ShardedPool<Job>,
     config: ServeConfig,
     started: Instant,
     slow: Mutex<SlowLog>,
 }
 
 impl Server {
-    /// Creates a server with one memo shard per worker.
+    /// Creates a server with one memo shard per worker. The worker pool
+    /// lives as long as the server and is shared by every session.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
+        let memo = Arc::new(OptimumMemo::sharded_with_eviction(
+            config.workers.max(1),
+            config.shard_capacity,
+            config.eviction,
+        ));
+        let pool = {
+            let memo = Arc::clone(&memo);
+            ShardedPool::new(config.workers, config.queue_depth, move |_shard, job: Job| {
+                let Job {
+                    seq,
+                    trace_id,
+                    t0,
+                    query,
+                    counters,
+                    reply,
+                } = job;
+                let response = catch_unwind(AssertUnwindSafe(|| {
+                    answer(&memo, trace_id, &query, &counters)
+                }))
+                .unwrap_or_else(|_| {
+                    event!(trace_id, "serve.solve", EventKind::Solve, 2);
+                    response_error(Some(query.id), "internal error: solver panicked")
+                });
+                let _ = reply.send((seq, trace_id, t0, response));
+            })
+        };
         Self {
-            memo: Arc::new(OptimumMemo::sharded(config.workers.max(1), config.shard_capacity)),
+            memo,
+            pool,
             config,
             started: Instant::now(),
             slow: Mutex::new(SlowLog::default()),
@@ -190,10 +329,25 @@ impl Server {
         &self.memo
     }
 
+    /// The sizing knobs this server was built with.
+    #[must_use]
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
     /// Nanoseconds since this server was created.
     #[must_use]
     pub fn uptime_ns(&self) -> u64 {
         u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Shuts the shared worker pool down (drains queued jobs, joins the
+    /// workers). Idempotent. Sessions still running afterwards answer
+    /// every further query inline with a `"pool shut down"` error
+    /// response that keeps the request's `id` — they do not hang and do
+    /// not lose the correlation.
+    pub fn shutdown_pool(&self) {
+        self.pool.shutdown();
     }
 
     /// Pre-solves the default-threshold optimum for every Table 1 node
@@ -230,9 +384,11 @@ impl Server {
         preloaded
     }
 
-    /// Runs the serving pipeline until `reader` reaches end of input,
-    /// writing one response line per request line in **request order**.
-    /// See the module docs for the determinism contract.
+    /// Runs one serving session until `reader` reaches end of input,
+    /// writing one response line per request line in **request order**
+    /// (this session's own sequence space). Any number of sessions may
+    /// run concurrently against one server; see the module docs for
+    /// the determinism contract.
     ///
     /// # Errors
     ///
@@ -245,7 +401,7 @@ impl Server {
     /// `--idle-timeout-secs` flag): the session ends *cleanly* with a
     /// final `"ok":false` response, a `serve.timeouts` counter tick,
     /// and [`ServeSummary::timed_out`] set — so one stalled client can
-    /// never wedge the daemon's sequential accept loop.
+    /// never wedge the daemon.
     ///
     /// # Panics
     ///
@@ -257,82 +413,61 @@ impl Server {
         writer: W,
     ) -> std::io::Result<ServeSummary> {
         let base = rlckit_trace::snapshot();
-        let written = Arc::new(AtomicU64::new(0));
-        let hits = Arc::new(AtomicU64::new(0));
-        let misses = Arc::new(AtomicU64::new(0));
-        let solve_errors = Arc::new(AtomicU64::new(0));
-        // (seq, trace_id, query started-at, response text)
-        let (tx, rx) = mpsc::channel::<(u64, u64, Option<Instant>, String)>();
+        let progress = Progress::new();
+        let counters = Arc::new(SessionCounters::default());
+        let (tx, rx) = mpsc::channel::<Reply>();
 
         std::thread::scope(|scope| {
             let writer_handle = {
-                let written = Arc::clone(&written);
+                let progress = &progress;
                 let slow = &self.slow;
                 scope.spawn(move || -> std::io::Result<()> {
                     let mut writer = writer;
                     let mut pending: BTreeMap<u64, (u64, Option<Instant>, String)> =
                         BTreeMap::new();
                     let mut next = 0u64;
-                    while let Ok((seq, trace_id, t0, text)) = rx.recv() {
-                        pending.insert(seq, (trace_id, t0, text));
-                        while let Some((trace_id, t0, text)) = pending.remove(&next) {
-                            writeln!(writer, "{text}")?;
-                            writer.flush()?;
-                            // Query requests only (`t0` is set iff the
-                            // request was a query with tracing live):
-                            // their response bytes are deterministic,
-                            // keeping the drained event stream
-                            // byte-identical across seeded runs. The
-                            // router-answered ops' responses embed
-                            // wall-clock digits, so a Write event for
-                            // them would leak `*_ns` entropy into the
-                            // `value` field.
-                            if let Some(t0) = t0 {
-                                event!(
-                                    trace_id,
-                                    "serve.write",
-                                    EventKind::Write,
-                                    text.len() as u64
-                                );
-                                let ns = u64::try_from(t0.elapsed().as_nanos())
-                                    .unwrap_or(u64::MAX - 1);
-                                histogram!("serve.latency_log2_ns")
-                                    .observe(u64::from((ns + 1).ilog2()));
-                                slow.lock()
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                    .record(trace_id, ns);
+                    let result = (|| -> std::io::Result<()> {
+                        while let Ok((seq, trace_id, t0, text)) = rx.recv() {
+                            pending.insert(seq, (trace_id, t0, text));
+                            while let Some((trace_id, t0, text)) = pending.remove(&next) {
+                                writeln!(writer, "{text}")?;
+                                writer.flush()?;
+                                // Query requests only (`t0` is set iff the
+                                // request was a query with tracing live):
+                                // their response bytes are deterministic,
+                                // keeping the drained event stream
+                                // byte-identical across seeded runs. The
+                                // router-answered ops' responses embed
+                                // wall-clock digits, so a Write event for
+                                // them would leak `*_ns` entropy into the
+                                // `value` field.
+                                if let Some(t0) = t0 {
+                                    event!(
+                                        trace_id,
+                                        "serve.write",
+                                        EventKind::Write,
+                                        text.len() as u64
+                                    );
+                                    let ns = u64::try_from(t0.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX - 1);
+                                    histogram!("serve.latency_log2_ns")
+                                        .observe(u64::from((ns + 1).ilog2()));
+                                    slow.lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                        .record(trace_id, ns);
+                                }
+                                next += 1;
+                                progress.advance_to(next);
                             }
-                            next += 1;
-                            written.store(next, Ordering::SeqCst);
                         }
+                        writer.flush()
+                    })();
+                    if result.is_err() {
+                        // A dead writer must not strand barrier waiters.
+                        progress.abandon();
                     }
-                    writer.flush()
+                    result
                 })
-            };
-
-            let pool = {
-                let memo = Arc::clone(&self.memo);
-                let hits = Arc::clone(&hits);
-                let misses = Arc::clone(&misses);
-                let solve_errors = Arc::clone(&solve_errors);
-                let worker_tx = Mutex::new(tx.clone());
-                ShardedPool::new(
-                    self.config.workers,
-                    self.config.queue_depth,
-                    move |_shard, (seq, trace_id, t0, query): (u64, u64, Option<Instant>, Box<Query>)| {
-                        let response = catch_unwind(AssertUnwindSafe(|| {
-                            answer(&memo, trace_id, &query, &hits, &misses, &solve_errors)
-                        }))
-                        .unwrap_or_else(|_| {
-                            event!(trace_id, "serve.solve", EventKind::Solve, 2);
-                            response_error(Some(query.id), "internal error: solver panicked")
-                        });
-                        let _ = worker_tx
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .send((seq, trace_id, t0, response));
-                    },
-                )
             };
 
             let mut seq = 0u64;
@@ -378,35 +513,52 @@ impl Server {
                             let key = key_for(&query.line, &query.driver, query.options);
                             let shard = self.memo.shard_of(&key);
                             event!(trace_id, "serve.route", EventKind::Route, shard as u64);
-                            if pool
-                                .submit_traced(shard, trace_id, (seq, trace_id, t0, query))
-                                .is_err()
+                            let job = Job {
+                                seq,
+                                trace_id,
+                                t0,
+                                query,
+                                counters: Arc::clone(&counters),
+                                reply: tx.clone(),
+                            };
+                            if let Err(rejected) = self.pool.submit_traced(shard, trace_id, job)
                             {
-                                // Possible only mid-teardown; answer inline.
-                                let _ = tx.send((
+                                // Possible only mid-teardown. The pool
+                                // hands the unanswered job back, so the
+                                // inline error keeps the id the client
+                                // sent — it can still correlate the
+                                // failure to its request.
+                                let Job {
+                                    seq,
+                                    trace_id,
+                                    query,
+                                    reply,
+                                    ..
+                                } = rejected.request;
+                                let _ = reply.send((
                                     seq,
                                     trace_id,
                                     None,
-                                    response_error(None, "pool shut down"),
+                                    response_error(Some(query.id), "pool shut down"),
                                 ));
                             }
                         }
                         Ok(Request::Stats { id }) => {
                             event!(trace_id, "serve.parse", EventKind::Parse, Op::Stats.code());
-                            // Barrier: every earlier response must be on
-                            // the wire before the counters are read.
-                            while written.load(Ordering::SeqCst) < seq {
-                                std::thread::yield_now();
-                            }
+                            // Barrier: every earlier response of THIS
+                            // session must be on the wire before the
+                            // counters are read. Sleeps on the condvar —
+                            // other sessions keep flowing meanwhile.
+                            progress.wait_for(seq);
                             let session = rlckit_trace::snapshot().since(&base);
                             let latency = session.histograms.get("serve.latency_log2_ns");
                             let stats = StatsView {
                                 entries: self.memo.len(),
-                                workers: pool.workers(),
-                                hits: hits.load(Ordering::SeqCst),
-                                misses: misses.load(Ordering::SeqCst),
+                                workers: self.pool.workers(),
+                                hits: counters.hits.load(Ordering::SeqCst),
+                                misses: counters.misses.load(Ordering::SeqCst),
                                 evictions: session.counter("memo.evictions"),
-                                in_flight: seq - written.load(Ordering::SeqCst),
+                                in_flight: seq.saturating_sub(progress.current()),
                                 uptime_ns: self.uptime_ns(),
                                 p50_ns: log2_percentile_ns(latency, 0.50),
                                 p95_ns: log2_percentile_ns(latency, 0.95),
@@ -422,10 +574,13 @@ impl Server {
                             let latency = session.histograms.get("serve.latency_log2_ns");
                             let events = rlckit_trace::events::collect().events.len() as u64;
                             let view = TraceOpView {
+                                // Self-inclusive: counts this trace
+                                // request itself, unlike the stats view
+                                // (see the protocol.rs contract).
                                 requests: seq + 1,
                                 parse_errors,
-                                solve_errors: solve_errors.load(Ordering::SeqCst),
-                                in_flight: seq - written.load(Ordering::SeqCst),
+                                solve_errors: counters.solve_errors.load(Ordering::SeqCst),
+                                in_flight: seq.saturating_sub(progress.current()),
                                 events,
                                 uptime_ns: self.uptime_ns(),
                                 p50_ns: log2_percentile_ns(latency, 0.50),
@@ -453,10 +608,12 @@ impl Server {
                 Ok(())
             })();
 
-            // Shutdown: joining the pool drops the workers' sender clone,
-            // then dropping the router's own sender lets the writer drain
-            // and exit.
-            pool.join();
+            // Session drain: every routed job answers through the reply
+            // sender it carries, so waiting for this session's cursor to
+            // reach `seq` — rather than joining the shared pool, which
+            // other sessions are still using — is what ends the session.
+            // (If the writer died, `abandon` has already released us.)
+            progress.wait_for(seq);
             drop(tx);
             let writer_result = writer_handle.join().expect("writer thread panicked");
             router.and(writer_result)?;
@@ -464,9 +621,9 @@ impl Server {
                 // The timeout notice occupies a writer slot but is not
                 // a consumed request line.
                 requests: seq - u64::from(timed_out),
-                hits: hits.load(Ordering::SeqCst),
-                misses: misses.load(Ordering::SeqCst),
-                errors: parse_errors + solve_errors.load(Ordering::SeqCst),
+                hits: counters.hits.load(Ordering::SeqCst),
+                misses: counters.misses.load(Ordering::SeqCst),
+                errors: parse_errors + counters.solve_errors.load(Ordering::SeqCst),
                 timed_out,
             })
         })
@@ -474,19 +631,12 @@ impl Server {
 }
 
 /// Computes the response for one validated query (worker-side).
-fn answer(
-    memo: &OptimumMemo,
-    trace_id: u64,
-    query: &Query,
-    hits: &AtomicU64,
-    misses: &AtomicU64,
-    solve_errors: &AtomicU64,
-) -> String {
+fn answer(memo: &OptimumMemo, trace_id: u64, query: &Query, counters: &SessionCounters) -> String {
     match memo.optimum_served(&query.line, &query.driver, query.options) {
         Ok((opt, served)) => {
             match served {
-                Served::Hit => hits.fetch_add(1, Ordering::SeqCst),
-                Served::Solved => misses.fetch_add(1, Ordering::SeqCst),
+                Served::Hit => counters.hits.fetch_add(1, Ordering::SeqCst),
+                Served::Solved => counters.misses.fetch_add(1, Ordering::SeqCst),
             };
             event!(
                 trace_id,
@@ -511,7 +661,7 @@ fn answer(
         }
         Err(e) => {
             counter!("serve.solve_errors").incr();
-            solve_errors.fetch_add(1, Ordering::SeqCst);
+            counters.solve_errors.fetch_add(1, Ordering::SeqCst);
             event!(trace_id, "serve.memo", EventKind::Probe, 0);
             event!(trace_id, "serve.solve", EventKind::Solve, 1);
             response_error(Some(query.id), &format!("solve failed: {e}"))
@@ -641,6 +791,100 @@ mod tests {
         }
         let result = server.serve(std::io::BufReader::new(BrokenReader), Vec::new());
         assert!(result.is_err(), "a reset is a real error, not an idle close");
+    }
+
+    /// Pre-fix regression: the pool-shutdown fallback answered
+    /// `response_error(None, ...)` although the parsed query's id was
+    /// in hand, so the client could not correlate the error to its
+    /// request. The pool now hands the rejected job back and the
+    /// router answers with the id preserved.
+    #[test]
+    fn pool_shutdown_answers_keep_the_request_id() {
+        let server = Server::new(ServeConfig::default());
+        server.shutdown_pool();
+        let (out, summary) = run(
+            &server,
+            "{\"id\":41,\"op\":\"optimum\",\"node\":\"100nm\",\"l_nh_mm\":1.0}\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        assert!(lines[0].contains("\"id\":41"), "the id must survive: {out}");
+        assert!(lines[0].contains("\"ok\":false"), "{out}");
+        assert!(lines[0].contains("pool shut down"), "{out}");
+        assert_eq!(summary.requests, 1);
+        // Double shutdown is a no-op; the session still ran to completion.
+        server.shutdown_pool();
+    }
+
+    /// The documented asymmetry (see `protocol.rs`): `stats` is a
+    /// barrier over the *preceding* prefix, while the `trace` view's
+    /// `requests` count is **self-inclusive** — it counts the trace
+    /// request itself.
+    #[test]
+    fn trace_requests_is_self_inclusive_while_stats_covers_the_prefix() {
+        let server = Server::new(ServeConfig::default());
+        let input = r#"{"id":1,"op":"optimum","node":"100nm","l_nh_mm":0.3}
+{"id":2,"op":"stats"}
+{"id":3,"op":"trace"}
+"#;
+        let (out, summary) = run(&server, input);
+        assert_eq!(summary.requests, 3);
+        let stats_line = out.lines().nth(1).unwrap();
+        // Stats: exactly the one preceding query, barrier-drained.
+        assert!(stats_line.contains("\"misses\":1"), "{stats_line}");
+        assert!(stats_line.contains("\"hits\":0"), "{stats_line}");
+        assert!(stats_line.contains("\"in_flight\":0"), "{stats_line}");
+        let trace_line = out.lines().nth(2).unwrap();
+        // Trace: two preceding requests plus itself.
+        assert!(trace_line.contains("\"requests\":3"), "{trace_line}");
+    }
+
+    /// The tentpole in miniature: two sessions run against one server
+    /// *simultaneously* and each gets its own in-order response stream,
+    /// while keys solved by either session warm the shared memo.
+    #[test]
+    fn concurrent_sessions_share_the_pool_and_the_memo() {
+        let server = Server::new(ServeConfig::default());
+        let input_a = "{\"id\":1,\"op\":\"optimum\",\"node\":\"250nm\",\"l_nh_mm\":0.8}\n\
+                       {\"id\":2,\"op\":\"optimum\",\"node\":\"250nm\",\"l_nh_mm\":0.8}\n";
+        let input_b = "{\"id\":1,\"op\":\"lcrit\",\"node\":\"100nm\",\"l_nh_mm\":1.3}\n\
+                       {\"id\":2,\"op\":\"lcrit\",\"node\":\"100nm\",\"l_nh_mm\":1.3}\n";
+        let (summary_a, summary_b, out_a, out_b) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                let mut out = Vec::new();
+                let s = server.serve(input_a.as_bytes(), &mut out).unwrap();
+                (s, String::from_utf8(out).unwrap())
+            });
+            let b = scope.spawn(|| {
+                let mut out = Vec::new();
+                let s = server.serve(input_b.as_bytes(), &mut out).unwrap();
+                (s, String::from_utf8(out).unwrap())
+            });
+            let (summary_a, out_a) = a.join().unwrap();
+            let (summary_b, out_b) = b.join().unwrap();
+            (summary_a, summary_b, out_a, out_b)
+        });
+        for (out, summary) in [(&out_a, summary_a), (&out_b, summary_b)] {
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 2, "{out}");
+            assert!(lines[0].starts_with("{\"id\":1,"), "{out}");
+            assert!(lines[1].starts_with("{\"id\":2,"), "{out}");
+            // Each session's second ask of its own key hits: same-key
+            // requests serialize on the pinned shard worker.
+            assert!(lines[1].contains("\"source\":\"memo\""), "{out}");
+            assert_eq!(summary.requests, 2);
+            assert_eq!(summary.hits, 1);
+            assert_eq!(summary.misses, 1);
+        }
+        // Cross-session warming: a third session re-asks both keys and
+        // hits both — the memo outlives and spans the sessions.
+        let (out, summary) = run(
+            &server,
+            "{\"id\":9,\"op\":\"optimum\",\"node\":\"250nm\",\"l_nh_mm\":0.8}\n\
+             {\"id\":10,\"op\":\"lcrit\",\"node\":\"100nm\",\"l_nh_mm\":1.3}\n",
+        );
+        assert_eq!(summary.hits, 2, "{out}");
+        assert_eq!(summary.misses, 0, "{out}");
     }
 
     #[test]

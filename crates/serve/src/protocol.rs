@@ -456,22 +456,32 @@ pub fn response_lcrit(id: u64, lcrit: HenriesPerMeter, served: Served) -> String
 
 /// Counters reported by a `stats` response.
 ///
-/// Every field except the three `*_ns` latency percentiles and
-/// `uptime_ns` is deterministic at the barrier (`in_flight` is always
-/// 0 there — the barrier *is* "nothing in flight"); the `*_ns` fields
-/// are wall clock, named per the trace-crate contract so determinism
-/// checks can strip them.
+/// A `stats` request is a **per-session barrier**: it is answered only
+/// after every *preceding* request of the asking session is on the
+/// wire, and its counts cover exactly that preceding prefix — the
+/// stats request itself is **not** counted (contrast
+/// [`TraceOpView::requests`], which is self-inclusive). Every field
+/// except the three `*_ns` latency percentiles and `uptime_ns` is
+/// deterministic at the barrier (`in_flight` is always 0 there — the
+/// barrier *is* "nothing in flight"); the `*_ns` fields are wall
+/// clock, named per the trace-crate contract so determinism checks can
+/// strip them. `hits`/`misses` are **session-scoped**, so a
+/// connection's stats responses are byte-identical to a solo replay
+/// even while other connections share the daemon; `entries` and
+/// `evictions` observe the shared memo and are constant across
+/// connections only in an eviction-free (e.g. all-hot) mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsView {
-    /// Entries currently retained across all shards.
+    /// Entries currently retained across all shards (process-wide).
     pub entries: usize,
     /// Worker (= shard) count.
     pub workers: usize,
-    /// Process-lifetime `memo.hits`.
+    /// This session's memo hits over its preceding request prefix.
     pub hits: u64,
-    /// Process-lifetime `memo.misses`.
+    /// This session's fresh solves over its preceding request prefix.
     pub misses: u64,
-    /// Process-lifetime `memo.evictions`.
+    /// `memo.evictions` observed since this session began
+    /// (process-wide under concurrency; 0 in an eviction-free mix).
     pub evictions: u64,
     /// Requests submitted but not yet written (0 at a barrier).
     pub in_flight: u64,
@@ -520,11 +530,19 @@ pub struct SlowRequest {
 /// `in_flight` and the slowest ranking reflect scheduling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceOpView {
-    /// Requests consumed by this session so far (including this one).
+    /// Requests consumed by this session so far, **including the trace
+    /// request itself** (self-inclusive). This is the deliberate
+    /// asymmetry with the stats view, whose counters cover only the
+    /// *preceding* prefix: a trace is a live snapshot taken at parse
+    /// time, so the freshest fact it knows is its own arrival — after
+    /// `n` earlier requests it reports `n + 1`. `rlckit-traceview`
+    /// relies on this when cross-checking a trace line against a
+    /// drained event file (the trace request contributes its own
+    /// `Parse` event), so the contract is pinned by test.
     pub requests: u64,
     /// Session parse errors.
     pub parse_errors: u64,
-    /// Process-lifetime solve errors.
+    /// This session's solve errors.
     pub solve_errors: u64,
     /// Requests submitted but not yet written, at answer time.
     pub in_flight: u64,

@@ -123,6 +123,24 @@ pub fn save(path: &Path, memo: &OptimumMemo) -> std::io::Result<usize> {
     Ok(entries.len())
 }
 
+/// Like [`save`], but **atomic**: writes to a `.tmp` sibling and
+/// renames it over `path`, so a reader (another daemon booting, an
+/// operator's `cp`) never observes a half-written snapshot. This is
+/// the variant the background re-warmer uses — it refreshes the
+/// snapshot while the daemon is live, where a torn rewrite window
+/// would no longer be a boot-time-only risk.
+///
+/// # Errors
+///
+/// Propagates file-creation, write, and rename failures (the `.tmp`
+/// sibling is left behind on failure for post-mortems).
+pub fn save_atomic(path: &Path, memo: &OptimumMemo) -> std::io::Result<usize> {
+    let tmp = path.with_extension("tmp");
+    let written = save(&tmp, memo)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
 /// Preloads `memo` from the snapshot at `path`. Entries re-route to
 /// whatever shard layout `memo` has — the snapshot is layout-agnostic.
 /// A torn tail stops the load at the last complete entry; already

@@ -194,6 +194,74 @@ if ! grep -q '^total' "$serve_dir/traceview.out"; then
   exit 1
 fi
 
+# Concurrent-serving smoke: one daemon, three simultaneous TCP clients
+# each replaying its own seeded hot-only mix (on-grid keys only, so no
+# session changes the shared memo and even the stats barrier lines are
+# reproducible). Every client's concurrent response stream must be
+# byte-identical (modulo the documented `*_ns` fields) to replaying the
+# same mix alone against the same daemon afterwards, the accept loop
+# must survive with zero errors, and nobody may be refused for
+# capacity.
+cargo run --release --offline -q -p rlckit-serve -- \
+  --tcp 127.0.0.1:0 --workers 4 --warm-grid 5 --idle-timeout-secs 30 \
+  2> "$serve_dir/tcp.log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(grep -oE 'listening on 127\.0\.0\.1:[0-9]+' "$serve_dir/tcp.log" \
+    | grep -oE '[0-9]+$' || true)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "tier-1 gate: FAIL — rlckit-serve --tcp never reported its listening port" >&2
+  exit 1
+fi
+client_pids=()
+for i in 1 2 3; do
+  cargo run --release --offline -q -p rlckit-bench --bin loadgen -- \
+    "--connect=127.0.0.1:$port" --emit=40 --seed=$((9000 + i)) --hot-only \
+    > "$serve_dir/client$i.concurrent.out" &
+  client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+  if ! wait "$pid"; then
+    echo "tier-1 gate: FAIL — a concurrent loadgen client session failed" >&2
+    exit 1
+  fi
+done
+for i in 1 2 3; do
+  cargo run --release --offline -q -p rlckit-bench --bin loadgen -- \
+    "--connect=127.0.0.1:$port" --emit=40 --seed=$((9000 + i)) --hot-only \
+    > "$serve_dir/client$i.solo.out"
+  if ! cmp -s <(strip_ns "$serve_dir/client$i.concurrent.out") \
+              <(strip_ns "$serve_dir/client$i.solo.out"); then
+    echo "tier-1 gate: FAIL — client $i's concurrent responses drifted from its solo replay" >&2
+    exit 1
+  fi
+  # Hot-only mix against a 5-point warm grid: the trailing stats
+  # barrier must report a miss-free session.
+  if ! tail -n 1 "$serve_dir/client$i.concurrent.out" | grep -q '"misses":0'; then
+    echo "tier-1 gate: FAIL — client $i's hot-only session took memo misses" >&2
+    exit 1
+  fi
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+if [ "$(grep -c 'closed after' "$serve_dir/tcp.log")" -ne 6 ]; then
+  echo "tier-1 gate: FAIL — daemon did not report all 6 client sessions closing" >&2
+  cat "$serve_dir/tcp.log" >&2
+  exit 1
+fi
+if grep -q 'accept error' "$serve_dir/tcp.log"; then
+  echo "tier-1 gate: FAIL — concurrent smoke took accept errors" >&2
+  exit 1
+fi
+if grep -q 'at capacity' "$serve_dir/tcp.log"; then
+  echo "tier-1 gate: FAIL — concurrent smoke refused a client for capacity" >&2
+  exit 1
+fi
+
 # Campaign supervisor smoke: the standard Fig. 4–8 sweep campaign,
 # sharded across three supervised processes with a seeded kill schedule
 # armed (every shard crash-loops a few generations before drawing a
@@ -262,6 +330,41 @@ serve_p95="$(bench_metric serve hot_mix_replay p95_latency_ns)"
 if ! awk -v x="${serve_p95:-0}" 'BEGIN { exit !(x > 0) }'; then
   echo "tier-1 gate: FAIL — BENCH_serve.json lost its p95_latency_ns column" >&2
   exit 1
+fi
+# Eviction guard (BENCH_serve eviction_churn): under multi-connection
+# hot + one-shot-cold churn against a deliberately small memo,
+# promote-on-hit LRU must hold the warm grid (> 0.9 hit rate on hot
+# requests) while FIFO — whose oldest-first victims are exactly the
+# preloaded warm entries — must be measurably worse on the
+# byte-identical workload. Both rates come from the committed baseline.
+lru_rate="$(bench_metric serve eviction_churn lru_warm_hit_rate)"
+fifo_rate="$(bench_metric serve eviction_churn fifo_warm_hit_rate)"
+if ! awk -v x="${lru_rate:-0}" 'BEGIN { exit !(x > 0.9) }'; then
+  echo "tier-1 gate: FAIL — LRU warm-grid hit rate ${lru_rate:-missing} <= 0.9 under churn" >&2
+  exit 1
+fi
+if ! awk -v l="${lru_rate:-0}" -v f="${fifo_rate:-1}" 'BEGIN { exit !(f < l) }'; then
+  echo "tier-1 gate: FAIL — FIFO (${fifo_rate:-missing}) did not degrade vs LRU (${lru_rate:-missing}) under churn" >&2
+  exit 1
+fi
+# Concurrent-throughput guard (BENCH_serve concurrent_replay):
+# cores-gated like the other scaling assertions — on ≥2 CPUs the
+# 4-session shared-pool replay must out-serve the solo session's qps;
+# a 1-CPU recording only asserts the entry exists.
+cc_cores="$(bench_metric serve concurrent_replay cores)"
+cc_qps="$(bench_metric serve concurrent_replay qps)"
+if ! awk -v x="${cc_qps:-0}" 'BEGIN { exit !(x > 0) }'; then
+  echo "tier-1 gate: FAIL — BENCH_serve.json lost its concurrent_replay qps column" >&2
+  exit 1
+fi
+if awk -v c="${cc_cores:-1}" 'BEGIN { exit !(c >= 2) }'; then
+  solo_qps="$(bench_metric serve hot_mix_replay qps)"
+  if ! awk -v c="${cc_qps:-0}" -v s="${solo_qps:-0}" 'BEGIN { exit !(c > s) }'; then
+    echo "tier-1 gate: FAIL — concurrent qps ${cc_qps:-missing} <= solo qps ${solo_qps:-missing} on ${cc_cores} CPUs" >&2
+    exit 1
+  fi
+else
+  echo "tier-1 gate: SKIP — concurrent-vs-solo qps assertion (BENCH_serve recorded on ${cc_cores:-1} CPU)"
 fi
 # Flight-recorder budget (BENCH_trace_overhead): the disabled-path
 # `event!` must stay one relaxed load — a committed median above 25 ns
